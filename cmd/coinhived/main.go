@@ -1,0 +1,58 @@
+// Command coinhived runs the Coinhive-clone service: a Monero-like chain,
+// the mining pool with its 32 WebSocket endpoints, the short-link
+// forwarding service and the miner assets — everything the paper's §4
+// measurements need a live target for.
+//
+// Usage:
+//
+//	coinhived [-listen :8080] [-share-diff 256] [-link-diff 16]
+//
+// Endpoints:
+//
+//	ws://host/proxy0 … /proxy31   pool endpoints
+//	/lib/coinhive.min.js          miner loader
+//	/lib/cryptonight.wasm         miner payload
+//	/cn/{id}                      short-link interstitial
+//	/api/link/create              POST {token,url,hashes}
+//	/api/stats                    pool statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/simclock"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	shareDiff := flag.Uint64("share-diff", 256, "per-share difficulty")
+	linkDiff := flag.Uint64("link-diff", 16, "short-link share difficulty")
+	minDiff := flag.Uint64("min-difficulty", 1<<22, "network difficulty floor")
+	flag.Parse()
+
+	params := blockchain.SimParams()
+	params.MinDifficulty = *minDiff
+	chain, err := blockchain.NewChain(params, uint64(simclock.Real().Now().Unix()),
+		blockchain.AddressFromString("genesis"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain:               chain,
+		Wallet:              blockchain.AddressFromString("coinhive-wallet"),
+		Clock:               simclock.Real(),
+		ShareDifficulty:     *shareDiff,
+		LinkShareDifficulty: *linkDiff,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coinhived: %d pool endpoints on %s (chain difficulty %d)\n",
+		pool.NumEndpoints(), *listen, chain.NextDifficulty())
+	log.Fatal(http.ListenAndServe(*listen, coinhive.NewServer(pool)))
+}

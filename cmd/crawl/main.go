@@ -1,0 +1,62 @@
+// Command crawl runs the §3 measurement pipelines over a synthetic web
+// corpus: the zgrab+NoCoin static scan and/or the instrumented-browser
+// crawl with Wasm fingerprinting.
+//
+// Usage:
+//
+//	crawl -tld alexa -n 100000 [-mode static|browser|both] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/fingerprint"
+	"repro/internal/nocoin"
+	"repro/internal/webgen"
+)
+
+func main() {
+	tldFlag := flag.String("tld", "alexa", "population: alexa, com, net, org")
+	n := flag.Int("n", 100_000, "corpus size")
+	mode := flag.String("mode", "both", "static, browser, or both")
+	seed := flag.Uint64("seed", 20180501, "corpus seed")
+	workers := flag.Int("workers", 8, "parallelism")
+	flag.Parse()
+
+	tld := webgen.TLD(*tldFlag)
+	switch tld {
+	case webgen.TLDAlexa, webgen.TLDCom, webgen.TLDNet, webgen.TLDOrg:
+	default:
+		log.Fatalf("unknown tld %q", *tldFlag)
+	}
+	corpus := webgen.Generate(webgen.DefaultConfig(tld, *n, *seed))
+	list := nocoin.Bundled()
+
+	if *mode == "static" || *mode == "both" {
+		rep := crawler.Scan(corpus, crawler.NewCorpusFetcher(corpus), list, *workers)
+		fmt.Printf("static scan: %d probed, %d fetched, %d NoCoin hits (%.4f%%)\n",
+			rep.Total, rep.Fetched, len(rep.Hits), rep.HitRate()*100)
+		rows := [][]string{}
+		for _, e := range analysis.RankDescending(rep.FamilyCounts) {
+			rows = append(rows, []string{e.Key, fmt.Sprintf("%d", e.Count)})
+		}
+		fmt.Println(analysis.Table([]string{"script family", "sites"}, rows))
+	}
+	if *mode == "browser" || *mode == "both" {
+		rep := browser.Crawl(corpus, fingerprint.ReferenceDB(), list, *workers)
+		fmt.Printf("browser crawl: %d visited, %d timed out, %d with Wasm, %d miners\n",
+			rep.Total, rep.TimedOut, rep.WasmSites, rep.MinerSites)
+		fmt.Printf("NoCoin on final HTML: %d hits, %d blocked miners, %d missed (%.0f%%)\n",
+			rep.NoCoinHits, rep.MinersBlockedByNoCoin, rep.MinersMissedByNoCoin, rep.MissRate()*100)
+		rows := [][]string{}
+		for _, e := range analysis.RankDescending(rep.FamilyCounts) {
+			rows = append(rows, []string{e.Key, fmt.Sprintf("%d", e.Count)})
+		}
+		fmt.Println(analysis.Table([]string{"wasm family", "sites"}, rows))
+	}
+}

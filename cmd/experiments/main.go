@@ -1,0 +1,110 @@
+// Command experiments regenerates every table and figure of the paper in
+// one run and prints them to stdout.
+//
+// Usage:
+//
+//	experiments [-scale ci|paper] [-only fig2,table1,...] [-workers N]
+//
+// The ci scale finishes in about a minute; the paper scale runs the full
+// populations and observation windows (several minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "ci", "corpus/observation scale: ci or paper")
+	only := flag.String("only", "", "comma-separated subset (fig2,table1,table2,table3,fig3,fig4,table45,fig5,table6,netsize,economics)")
+	workers := flag.Int("workers", 8, "crawl parallelism")
+	seed := flag.Int64("seed", 2018, "simulation seed")
+	flag.Parse()
+
+	scale := experiments.ScaleCI
+	switch *scaleFlag {
+	case "ci":
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string) bool { return len(want) == 0 || want[key] }
+	section := func(out string) {
+		fmt.Println(out)
+		fmt.Println()
+	}
+
+	if run("fig2") {
+		section(experiments.RunFig2(scale, *workers).Render())
+	}
+	if run("table1") || run("table2") || run("table3") {
+		crawls := experiments.RunBrowserCrawls(scale, *workers)
+		if run("table1") {
+			section(experiments.Table1From(crawls).Render())
+		}
+		if run("table2") {
+			section(experiments.Table2From(crawls).Render())
+		}
+		if run("table3") {
+			section(experiments.Table3From(crawls).Render())
+		}
+	}
+	if run("fig3") {
+		section(experiments.RunFig3(scale).Render())
+	}
+	if run("fig4") {
+		section(experiments.RunFig4(scale).Render())
+	}
+	if run("table45") {
+		per, tail := 20, 120
+		if scale == experiments.ScalePaper {
+			per, tail = 100, 600
+		}
+		res, err := experiments.RunResolve(scale, per, tail)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table45:", err)
+			os.Exit(1)
+		}
+		section(res.Render())
+	}
+	if run("fig5") {
+		res, err := experiments.RunFig5(*seed, 2*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig5:", err)
+			os.Exit(1)
+		}
+		section(res.Render())
+	}
+	if run("table6") {
+		res, err := experiments.RunTable6(*seed, 2*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table6:", err)
+			os.Exit(1)
+		}
+		section(res.Render())
+	}
+	if run("netsize") {
+		res, err := experiments.RunNetworkSize(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsize:", err)
+			os.Exit(1)
+		}
+		section(res.Render())
+	}
+	if run("economics") {
+		section(experiments.RunEconomics(experiments.PaperEconomics()).Render())
+	}
+}

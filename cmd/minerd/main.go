@@ -1,0 +1,48 @@
+// Command minerd is the standalone non-browser miner: it connects to a
+// pool endpoint, authenticates with a site key, and mines shares — the
+// same client the short-link resolver is built on.
+//
+// Usage:
+//
+//	minerd -pool ws://localhost:8080/proxy0 -key my-site-key [-shares 10]
+//	minerd -pool ws://localhost:8080/proxy0 -key TOKEN -link ab3   # resolve a link
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cryptonight"
+	"repro/internal/webminer"
+)
+
+func main() {
+	pool := flag.String("pool", "ws://localhost:8080/proxy0", "pool websocket endpoint")
+	key := flag.String("key", "minerd-default", "site key (token)")
+	link := flag.String("link", "", "short-link ID to resolve (overrides -shares)")
+	shares := flag.Int("shares", 5, "shares to mine before exiting")
+	variant := flag.String("variant", "test", "cryptonight profile: test, lite, full")
+	flag.Parse()
+
+	v := cryptonight.Test
+	switch *variant {
+	case "test":
+	case "lite":
+		v = cryptonight.Lite
+	case "full":
+		v = cryptonight.Full
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+	c := &webminer.Client{URL: *pool, SiteKey: *key, LinkID: *link, Variant: v}
+	res, err := c.Mine(*shares)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted %d shares, computed %d hashes, pool credit %d hashes\n",
+		res.SharesAccepted, res.HashesComputed, res.CreditedHashes)
+	if res.ResolvedURL != "" {
+		fmt.Printf("link resolved: %s\n", res.ResolvedURL)
+	}
+}

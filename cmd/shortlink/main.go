@@ -1,0 +1,65 @@
+// Command shortlink enumerates and analyses the cnhv.co-style link space:
+// the Figure 3 creator distribution, the Figure 4 hash-price distribution,
+// and (optionally, against a running coinhived) live resolution.
+//
+// Usage:
+//
+//	shortlink [-n 200000]                            # Fig 3 + Fig 4 analysis
+//	shortlink -resolve ab3 -service http://localhost:8080   # resolve one link
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/cryptonight"
+	"repro/internal/experiments"
+	"repro/internal/webminer"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "link-space size for the distribution analysis")
+	resolve := flag.String("resolve", "", "short-link ID to resolve against -service")
+	service := flag.String("service", "http://localhost:8080", "coinhived base URL")
+	flag.Parse()
+
+	if *resolve != "" {
+		resolveLive(*service, *resolve)
+		return
+	}
+	_ = n
+	fmt.Println(experiments.RunFig3(experiments.ScaleCI).Render())
+	fmt.Println()
+	fmt.Println(experiments.RunFig4(experiments.ScaleCI).Render())
+}
+
+// resolveLive scrapes the interstitial exactly as the paper's crawler did,
+// then mines the required hashes with the non-browser miner.
+func resolveLive(base, id string) {
+	resp, err := http.Get(base + "/cn/" + id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	info, err := webminer.ParseLinkPage(string(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("link %s: creator token %s, %d hashes required\n", info.ID, info.Token, info.Required)
+	c := &webminer.Client{
+		URL:     "ws" + strings.TrimPrefix(base, "http") + "/proxy0",
+		SiteKey: info.Token,
+		LinkID:  info.ID,
+		Variant: cryptonight.Test,
+	}
+	res, err := c.Mine(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolved after %d hashes: %s\n", res.HashesComputed, res.ResolvedURL)
+}

@@ -1,0 +1,72 @@
+// Quickstart: stand up the full stack — chain, Coinhive-clone pool with
+// its WebSocket front, and a web-miner client — then mine real shares
+// end-to-end and settle a block.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/cryptonight"
+	"repro/internal/simclock"
+	"repro/internal/webminer"
+)
+
+func main() {
+	// 1. A Monero-like chain with the reduced CryptoNight profile, low
+	//    difficulty so this demo can mine a real block.
+	params := blockchain.SimParams()
+	params.MinDifficulty = 256
+	chain, err := blockchain.NewChain(params, uint64(time.Now().Unix()),
+		blockchain.AddressFromString("genesis"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The Coinhive-clone pool and its HTTP/WebSocket service.
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain:           chain,
+		Wallet:          blockchain.AddressFromString("coinhive-wallet"),
+		Clock:           simclock.Real(),
+		ShareDifficulty: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(coinhive.NewServer(pool))
+	defer srv.Close()
+	fmt.Printf("service up: %d pool endpoints, difficulty %d\n",
+		pool.NumEndpoints(), chain.NextDifficulty())
+
+	// 3. A web miner (the non-browser implementation) mining for a site key.
+	client := &webminer.Client{
+		URL:     "ws" + strings.TrimPrefix(srv.URL, "http") + "/proxy0",
+		SiteKey: "quickstart-site",
+		Variant: cryptonight.Test,
+	}
+	res, err := client.Mine(40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined %d accepted shares with %d CryptoNight hashes\n",
+		res.SharesAccepted, res.HashesComputed)
+
+	// 4. Pool-side accounting: credited hashes, found blocks, the 70/30 split.
+	acct, _ := pool.AccountSnapshot("quickstart-site")
+	st := pool.StatsSnapshot()
+	fmt.Printf("pool credited %d hashes to %q\n", acct.TotalHashes, acct.Token)
+	fmt.Printf("blocks found: %d, chain height: %d\n", st.BlocksFound, chain.Height())
+	if st.BlocksFound > 0 {
+		fmt.Printf("payout: %d atomic to users (70%%), %d kept by the pool (30%%)\n",
+			st.PaidAtomic, st.KeptAtomic)
+		fmt.Printf("user balance: %.6f XMR\n",
+			float64(acct.BalanceAtomic)/blockchain.AtomicPerXMR)
+	}
+}

@@ -1,0 +1,102 @@
+// Shortlink-economics: create cnhv.co-style links against a live service,
+// scrape their interstitials, resolve one by mining, and analyse the hash
+// economics of the enumerated link space (Figures 3 & 4).
+//
+//	go run ./examples/shortlink-economics
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/cryptonight"
+	"repro/internal/linkgen"
+	"repro/internal/simclock"
+	"repro/internal/webminer"
+)
+
+func main() {
+	// A live Coinhive clone.
+	params := blockchain.SimParams()
+	params.MinDifficulty = 1 << 40 // no blocks in this demo
+	chain, err := blockchain.NewChain(params, uint64(time.Now().Unix()),
+		blockchain.AddressFromString("genesis"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain:               chain,
+		Wallet:              blockchain.AddressFromString("coinhive-wallet"),
+		Clock:               simclock.Real(),
+		LinkShareDifficulty: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(coinhive.NewServer(pool))
+	defer srv.Close()
+
+	// Create a small link corpus with the paper's user/price structure.
+	cfg := linkgen.Default(5000)
+	cfg.HashScale = 16
+	specs := linkgen.Generate(cfg)
+	var firstID string
+	for i, s := range specs {
+		id := pool.Links().Create(s.Token, s.URL, s.Hashes)
+		if i == 0 {
+			firstID = id
+		}
+	}
+	fmt.Printf("created %d short links (IDs %s..)\n", pool.Links().Len(), firstID)
+
+	// Scrape one interstitial, as the paper's enumerator did.
+	resp, err := http.Get(srv.URL + "/cn/" + firstID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	info, err := webminer.ParseLinkPage(string(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scraped link %s: token=%s requires %d hashes (%s at 20 H/s)\n",
+		info.ID, info.Token, info.Required, analysis.Duration20Hs(float64(info.Required)))
+
+	// Resolve it by actually mining.
+	c := &webminer.Client{
+		URL:     "ws" + strings.TrimPrefix(srv.URL, "http") + "/proxy3",
+		SiteKey: info.Token,
+		LinkID:  info.ID,
+		Variant: cryptonight.Test,
+	}
+	res, err := c.Mine(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolved after %d hashes -> %s\n\n", res.HashesComputed, res.ResolvedURL)
+
+	// The economics of the whole space.
+	counts := map[string]int{}
+	var prices []float64
+	for _, s := range specs {
+		counts[s.Token]++
+		if s.Hashes != linkgen.InfeasibleHashes {
+			prices = append(prices, float64(s.Hashes))
+		}
+	}
+	ranked := analysis.RankDescending(counts)
+	fmt.Printf("top creator owns %.0f%% of links; top 10 own %.0f%% (paper: 33%% / 85%%)\n",
+		analysis.TopShare(ranked, 1)*100, analysis.TopShare(ranked, 10)*100)
+	cdf := analysis.CDF(prices)
+	fmt.Printf("share of links needing ≤%d hashes: %.0f%%\n",
+		1024/int(cfg.HashScale), analysis.PAt(cdf, float64(1024/cfg.HashScale))*100)
+}

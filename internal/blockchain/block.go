@@ -1,0 +1,197 @@
+package blockchain
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cryptonight"
+	"repro/internal/keccak"
+	"repro/internal/merkle"
+	"repro/internal/varint"
+)
+
+// Header is the Monero-style block header (Figure 1 of the paper):
+// versions, timestamp, pointer to the previous block, and the PoW nonce.
+type Header struct {
+	MajorVersion uint64
+	MinorVersion uint64
+	Timestamp    uint64 // UNIX seconds
+	PrevHash     [32]byte
+	Nonce        uint32
+}
+
+// NonceOffset is the byte offset of the nonce within the hashing blob. The
+// miner mutates exactly these four bytes while searching; pools rely on the
+// offset when splicing client nonces back into templates, and Coinhive's
+// obfuscation XORs the blob a few bytes further in (see internal/stratum).
+func (h Header) NonceOffset() int {
+	return varint.Len(h.MajorVersion) + varint.Len(h.MinorVersion) + varint.Len(h.Timestamp) + 32
+}
+
+// appendHeader serialises the header fields in wire order.
+func (h Header) appendHeader(dst []byte) []byte {
+	dst = varint.Append(dst, h.MajorVersion)
+	dst = varint.Append(dst, h.MinorVersion)
+	dst = varint.Append(dst, h.Timestamp)
+	dst = append(dst, h.PrevHash[:]...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], h.Nonce)
+	return append(dst, n[:]...)
+}
+
+// Block bundles a header with its coinbase transaction and the hashes of
+// the mempool transactions it includes. Full transaction bodies for
+// non-coinbase transactions live in the transaction pool; consensus only
+// needs their hashes (they are the Merkle leaves).
+type Block struct {
+	Header
+	Coinbase Transaction
+	TxHashes [][32]byte
+}
+
+// NumTransactions counts all transactions including the coinbase.
+func (b *Block) NumTransactions() int { return 1 + len(b.TxHashes) }
+
+// MerkleRoot computes the CryptoNote tree hash over the coinbase hash
+// followed by the included transaction hashes.
+func (b *Block) MerkleRoot() [32]byte {
+	leaves := make([]merkle.Hash, 0, b.NumTransactions())
+	leaves = append(leaves, b.Coinbase.Hash())
+	leaves = append(leaves, b.TxHashes...)
+	return merkle.TreeHash(leaves)
+}
+
+// HashingBlob returns the PoW input: header bytes, Merkle root, and the
+// transaction count. This is exactly the "PoW Input" of the paper's
+// Figure 1 and the blob that pools push to web miners as jobs.
+func (b *Block) HashingBlob() []byte {
+	dst := b.Header.appendHeader(make([]byte, 0, 128))
+	root := b.MerkleRoot()
+	dst = append(dst, root[:]...)
+	return varint.Append(dst, uint64(b.NumTransactions()))
+}
+
+// ID returns the block identifier: Keccak-256 over the hashing blob
+// prefixed with its length (as Monero's get_block_hash does).
+func (b *Block) ID() [32]byte {
+	blob := b.HashingBlob()
+	pre := varint.Append(make([]byte, 0, len(blob)+2), uint64(len(blob)))
+	return keccak.Sum256(append(pre, blob...))
+}
+
+// PowHash evaluates the CryptoNight hash of the hashing blob.
+func (b *Block) PowHash(h *cryptonight.Hasher) [32]byte {
+	return h.Sum(b.HashingBlob())
+}
+
+// Serialize appends the full wire encoding of the block.
+func (b *Block) Serialize(dst []byte) []byte {
+	dst = b.Header.appendHeader(dst)
+	dst = b.Coinbase.Serialize(dst)
+	dst = varint.Append(dst, uint64(len(b.TxHashes)))
+	for _, h := range b.TxHashes {
+		dst = append(dst, h[:]...)
+	}
+	return dst
+}
+
+// DeserializeBlock parses a block from buf, returning leftover bytes.
+func DeserializeBlock(buf []byte) (*Block, []byte, error) {
+	var b Block
+	var err error
+	rd := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		v, n, e := varint.Decode(buf)
+		if e != nil {
+			err = e
+			return 0
+		}
+		buf = buf[n:]
+		return v
+	}
+	b.MajorVersion = rd()
+	b.MinorVersion = rd()
+	b.Timestamp = rd()
+	if err == nil {
+		if len(buf) < 36 {
+			err = varint.ErrTruncated
+		} else {
+			copy(b.PrevHash[:], buf[:32])
+			b.Nonce = binary.LittleEndian.Uint32(buf[32:36])
+			buf = buf[36:]
+		}
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockchain: bad block header: %w", err)
+	}
+	cb, rest, err := DeserializeTransaction(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.Coinbase = cb
+	buf = rest
+	n, used, err := varint.Decode(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockchain: bad tx count: %w", err)
+	}
+	buf = buf[used:]
+	if uint64(len(buf)) < n*32 {
+		return nil, nil, fmt.Errorf("blockchain: truncated tx hashes: %w", varint.ErrTruncated)
+	}
+	b.TxHashes = make([][32]byte, n)
+	for i := range b.TxHashes {
+		copy(b.TxHashes[i][:], buf[:32])
+		buf = buf[32:]
+	}
+	return &b, buf, nil
+}
+
+// ParseHashingBlob splits a raw PoW input into header, Merkle root, and
+// transaction count. The paper's §4.2 watcher applies this to the jobs a
+// pool hands out, extracting the embedded Merkle root for attribution.
+func ParseHashingBlob(blob []byte) (Header, [32]byte, uint64, error) {
+	var h Header
+	var root [32]byte
+	var err error
+	rd := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		v, n, e := varint.Decode(blob)
+		if e != nil {
+			err = e
+			return 0
+		}
+		blob = blob[n:]
+		return v
+	}
+	h.MajorVersion = rd()
+	h.MinorVersion = rd()
+	h.Timestamp = rd()
+	if err == nil {
+		if len(blob) < 36+32 {
+			err = varint.ErrTruncated
+		} else {
+			copy(h.PrevHash[:], blob[:32])
+			h.Nonce = binary.LittleEndian.Uint32(blob[32:36])
+			copy(root[:], blob[36:68])
+			blob = blob[68:]
+		}
+	}
+	numTx := rd()
+	if err != nil {
+		return Header{}, root, 0, fmt.Errorf("blockchain: bad hashing blob: %w", err)
+	}
+	if len(blob) != 0 {
+		return Header{}, root, 0, fmt.Errorf("blockchain: %d trailing bytes in hashing blob", len(blob))
+	}
+	return h, root, numTx, nil
+}
+
+// SpliceNonce overwrites the nonce bytes inside a raw hashing blob without
+// reparsing it, as miners do per attempt.
+func SpliceNonce(blob []byte, nonceOffset int, nonce uint32) {
+	binary.LittleEndian.PutUint32(blob[nonceOffset:], nonce)
+}

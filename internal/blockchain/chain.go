@@ -1,0 +1,293 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cryptonight"
+)
+
+// TimestampMedianWindow is the number of trailing blocks whose median
+// timestamp a new block must exceed (Monero: 60).
+const TimestampMedianWindow = 60
+
+// Verification errors.
+var (
+	ErrBadPrev      = errors.New("blockchain: previous hash does not match tip")
+	ErrBadVersion   = errors.New("blockchain: header version mismatch")
+	ErrBadTimestamp = errors.New("blockchain: timestamp not above trailing median")
+	ErrBadPoW       = errors.New("blockchain: proof of work below difficulty")
+	ErrBadCoinbase  = errors.New("blockchain: invalid coinbase transaction")
+	ErrKnownBlock   = errors.New("blockchain: block already in chain")
+)
+
+// Chain is a verifying, append-only block store.
+type Chain struct {
+	mu        sync.RWMutex
+	params    Params
+	blocks    []*Block
+	index     map[[32]byte]uint64 // block ID -> height
+	diffs     []uint64            // per-block difficulty at acceptance
+	cumDiff   []uint64            // cumulative difficulty
+	generated uint64              // atomic units emitted so far
+	tipID     [32]byte            // cached ID of blocks[len-1]
+	hasher    *cryptonight.Hasher
+}
+
+// NewChain creates a chain holding only a genesis block with the given
+// timestamp, paying the genesis reward to `to`.
+func NewChain(p Params, genesisTimestamp uint64, to Address) (*Chain, error) {
+	h, err := cryptonight.NewHasher(p.PowVariant)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{params: p, index: make(map[[32]byte]uint64), hasher: h}
+	g := &Block{
+		Header: Header{
+			MajorVersion: p.MajorVersion,
+			MinorVersion: p.MinorVersion,
+			Timestamp:    genesisTimestamp,
+		},
+		Coinbase: NewCoinbase(p.BaseReward(0), to, 0, []byte("genesis")),
+	}
+	c.blocks = append(c.blocks, g)
+	c.tipID = g.ID()
+	c.index[c.tipID] = 0
+	c.diffs = append(c.diffs, 1)
+	c.cumDiff = append(c.cumDiff, 1)
+	c.generated = g.Coinbase.Amount
+	return c, nil
+}
+
+// Params returns the consensus parameters.
+func (c *Chain) Params() Params { return c.params }
+
+// PreloadEmission sets the already-generated coin count, emulating a chain
+// with history (the 2018 Monero chain had emitted ~16M XMR, which fixes the
+// ~4-5 XMR block reward the paper's revenue numbers build on). It may only
+// be called while the chain holds nothing but its genesis block.
+func (c *Chain) PreloadEmission(alreadyGenerated uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.blocks) != 1 {
+		panic("blockchain: PreloadEmission after blocks were appended")
+	}
+	c.generated = alreadyGenerated
+}
+
+// Height returns the tip height (genesis is height 0).
+func (c *Chain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(len(c.blocks) - 1)
+}
+
+// Tip returns the most recent block.
+func (c *Chain) Tip() *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// TipID returns the most recent block's identifier (cached: callers poll
+// it at high frequency to detect tip changes).
+func (c *Chain) TipID() [32]byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tipID
+}
+
+// Generated returns the total atomic units emitted so far.
+func (c *Chain) Generated() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.generated
+}
+
+// BlockByHeight returns the block at height h, or nil.
+func (c *Chain) BlockByHeight(h uint64) *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if h >= uint64(len(c.blocks)) {
+		return nil
+	}
+	return c.blocks[h]
+}
+
+// BlockByID returns the block with the given identifier and its height.
+func (c *Chain) BlockByID(id [32]byte) (*Block, uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.index[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return c.blocks[h], h, true
+}
+
+// SuccessorOf returns the block mined directly on top of the block with the
+// given identifier. This is the §4.2 primitive: given the prev-pointer from
+// a pool's PoW input, fetch the block that actually extended it.
+func (c *Chain) SuccessorOf(id [32]byte) (*Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.index[id]
+	if !ok || h+1 >= uint64(len(c.blocks)) {
+		return nil, false
+	}
+	return c.blocks[h+1], true
+}
+
+// NextDifficulty returns the difficulty required of the next block.
+func (c *Chain) NextDifficulty() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nextDifficultyLocked()
+}
+
+func (c *Chain) nextDifficultyLocked() uint64 {
+	n := len(c.blocks)
+	ts := make([]uint64, n)
+	for i, b := range c.blocks {
+		ts[i] = b.Timestamp
+	}
+	return NextDifficulty(ts, c.cumDiff, uint64(c.params.TargetBlockTime.Seconds()),
+		c.params.DifficultyWindow, c.params.DifficultyCut, c.params.MinDifficulty)
+}
+
+// DifficultyOf returns the difficulty the block at height h was held to.
+func (c *Chain) DifficultyOf(h uint64) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if h >= uint64(len(c.diffs)) {
+		return 0
+	}
+	return c.diffs[h]
+}
+
+// BaseReward returns the reward the next block's coinbase must claim.
+func (c *Chain) BaseReward() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.params.BaseReward(c.generated)
+}
+
+// NewTemplate assembles an unmined block on top of the current tip. The
+// caller (a pool or solo miner) supplies the timestamp, payee, tx_extra and
+// the mempool transaction hashes to include.
+func (c *Chain) NewTemplate(timestamp uint64, to Address, extra []byte, txHashes [][32]byte) *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tip := c.blocks[len(c.blocks)-1]
+	height := uint64(len(c.blocks))
+	return &Block{
+		Header: Header{
+			MajorVersion: c.params.MajorVersion,
+			MinorVersion: c.params.MinorVersion,
+			Timestamp:    timestamp,
+			PrevHash:     tip.ID(),
+		},
+		Coinbase: NewCoinbase(c.params.BaseReward(c.generated), to, height+60, extra),
+		TxHashes: append([][32]byte(nil), txHashes...),
+	}
+}
+
+// medianTimestampLocked returns the median of the trailing
+// TimestampMedianWindow block timestamps.
+func (c *Chain) medianTimestampLocked() uint64 {
+	n := len(c.blocks)
+	w := TimestampMedianWindow
+	if n < w {
+		w = n
+	}
+	ts := make([]uint64, w)
+	for i := 0; i < w; i++ {
+		ts[i] = c.blocks[n-w+i].Timestamp
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts[len(ts)/2]
+}
+
+// Append verifies b against consensus rules and extends the chain.
+func (c *Chain) Append(b *Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if b.MajorVersion != c.params.MajorVersion || b.MinorVersion != c.params.MinorVersion {
+		return ErrBadVersion
+	}
+	if b.PrevHash != c.tipID {
+		return ErrBadPrev
+	}
+	if _, dup := c.index[b.ID()]; dup {
+		return ErrKnownBlock
+	}
+	if len(c.blocks) > 1 && b.Timestamp <= c.medianTimestampLocked() {
+		return ErrBadTimestamp
+	}
+	if !b.Coinbase.Coinbase {
+		return fmt.Errorf("%w: first transaction not a coinbase", ErrBadCoinbase)
+	}
+	// Simulated mempool transactions are fee-less, so the coinbase must
+	// claim exactly the emission-curve reward (the paper likewise sums
+	// block rewards when computing Coinhive's XMR turnover).
+	if want := c.params.BaseReward(c.generated); b.Coinbase.Amount != want {
+		return fmt.Errorf("%w: claims %d, want %d", ErrBadCoinbase, b.Coinbase.Amount, want)
+	}
+	diff := c.nextDifficultyLocked()
+	pow := c.hasher.Sum(b.HashingBlob())
+	if !cryptonight.CheckDifficulty(pow, diff) {
+		return fmt.Errorf("%w (difficulty %d)", ErrBadPoW, diff)
+	}
+
+	height := uint64(len(c.blocks))
+	c.blocks = append(c.blocks, b)
+	c.tipID = b.ID()
+	c.index[c.tipID] = height
+	c.diffs = append(c.diffs, diff)
+	c.cumDiff = append(c.cumDiff, c.cumDiff[len(c.cumDiff)-1]+diff)
+	c.generated += b.Coinbase.Amount
+	return nil
+}
+
+// AppendUnchecked extends the chain without PoW verification. The
+// discrete-event network simulator uses this for background miners whose
+// blocks are sampled from the difficulty-implied arrival process rather
+// than hashed (hashing half a million simulated strangers' blocks would
+// dominate runtime without changing any measured quantity).
+func (c *Chain) AppendUnchecked(b *Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b.PrevHash != c.tipID {
+		return ErrBadPrev
+	}
+	if _, dup := c.index[b.ID()]; dup {
+		return ErrKnownBlock
+	}
+	diff := c.nextDifficultyLocked()
+	height := uint64(len(c.blocks))
+	c.blocks = append(c.blocks, b)
+	c.tipID = b.ID()
+	c.index[c.tipID] = height
+	c.diffs = append(c.diffs, diff)
+	c.cumDiff = append(c.cumDiff, c.cumDiff[len(c.cumDiff)-1]+diff)
+	c.generated += b.Coinbase.Amount
+	return nil
+}
+
+// Blocks returns blocks in the half-open height interval [from, to).
+func (c *Chain) Blocks(from, to uint64) []*Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if to > uint64(len(c.blocks)) {
+		to = uint64(len(c.blocks))
+	}
+	if from >= to {
+		return nil
+	}
+	out := make([]*Block, to-from)
+	copy(out, c.blocks[from:to])
+	return out
+}

@@ -1,0 +1,142 @@
+package blockchain
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/keccak"
+	"repro/internal/varint"
+)
+
+// Address identifies a wallet. Real Monero addresses are one-time keys; for
+// attribution purposes an opaque 32-byte public key is sufficient.
+type Address [32]byte
+
+// AddressFromString derives a deterministic Address from a label, which
+// keeps fixtures and examples readable ("coinhive-wallet", "solo-miner-3").
+func AddressFromString(s string) Address {
+	return keccak.Sum256([]byte("address:" + s))
+}
+
+func (a Address) String() string { return fmt.Sprintf("%x…%x", a[:4], a[28:]) }
+
+// Transaction is a simplified CryptoNote transaction. Non-coinbase
+// transactions carry only what the measurements need: a stable identity and
+// a fee. Coinbase transactions carry the reward, the payee and the
+// pool-controlled Extra field (tx_extra), which pools vary per backend to
+// generate distinct PoW inputs — the effect the paper exploits when it
+// observes "at most 128 different PoW inputs" across Coinhive's endpoints.
+type Transaction struct {
+	Version    uint64
+	UnlockTime uint64
+	Coinbase   bool
+	Amount     uint64  // coinbase: block reward incl. fees
+	To         Address // coinbase payee
+	Fee        uint64  // non-coinbase miner fee
+	Extra      []byte  // tx_extra: pool nonce / arbitrary tags
+	Payload    []byte  // opaque body standing in for inputs/outputs
+}
+
+// NewCoinbase builds the miner-reward transaction for a block.
+func NewCoinbase(reward uint64, to Address, unlockTime uint64, extra []byte) Transaction {
+	return Transaction{
+		Version:    2,
+		UnlockTime: unlockTime,
+		Coinbase:   true,
+		Amount:     reward,
+		To:         to,
+		Extra:      append([]byte(nil), extra...),
+	}
+}
+
+// Serialize appends the canonical wire encoding of t to dst.
+func (t Transaction) Serialize(dst []byte) []byte {
+	dst = varint.Append(dst, t.Version)
+	dst = varint.Append(dst, t.UnlockTime)
+	if t.Coinbase {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = varint.Append(dst, t.Amount)
+	dst = append(dst, t.To[:]...)
+	dst = varint.Append(dst, t.Fee)
+	dst = varint.Append(dst, uint64(len(t.Extra)))
+	dst = append(dst, t.Extra...)
+	dst = varint.Append(dst, uint64(len(t.Payload)))
+	dst = append(dst, t.Payload...)
+	return dst
+}
+
+// DeserializeTransaction parses a transaction from buf, returning the
+// remaining bytes.
+func DeserializeTransaction(buf []byte) (Transaction, []byte, error) {
+	var t Transaction
+	var err error
+	rd := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		v, n, e := varint.Decode(buf)
+		if e != nil {
+			err = e
+			return 0
+		}
+		buf = buf[n:]
+		return v
+	}
+	t.Version = rd()
+	t.UnlockTime = rd()
+	if err == nil {
+		if len(buf) < 1 {
+			err = varint.ErrTruncated
+		} else {
+			t.Coinbase = buf[0] == 1
+			buf = buf[1:]
+		}
+	}
+	t.Amount = rd()
+	if err == nil {
+		if len(buf) < 32 {
+			err = varint.ErrTruncated
+		} else {
+			copy(t.To[:], buf[:32])
+			buf = buf[32:]
+		}
+	}
+	t.Fee = rd()
+	ne := rd()
+	if err == nil {
+		if uint64(len(buf)) < ne {
+			err = varint.ErrTruncated
+		} else {
+			t.Extra = append([]byte(nil), buf[:ne]...)
+			buf = buf[ne:]
+		}
+	}
+	np := rd()
+	if err == nil {
+		if uint64(len(buf)) < np {
+			err = varint.ErrTruncated
+		} else {
+			t.Payload = append([]byte(nil), buf[:np]...)
+			buf = buf[np:]
+		}
+	}
+	if err != nil {
+		return Transaction{}, nil, fmt.Errorf("blockchain: bad transaction: %w", err)
+	}
+	return t, buf, nil
+}
+
+// Hash returns the transaction identifier (Keccak-256 of the wire form).
+func (t Transaction) Hash() [32]byte {
+	return keccak.Sum256(t.Serialize(nil))
+}
+
+// Equal reports deep equality.
+func (t Transaction) Equal(o Transaction) bool {
+	return t.Version == o.Version && t.UnlockTime == o.UnlockTime &&
+		t.Coinbase == o.Coinbase && t.Amount == o.Amount && t.To == o.To &&
+		t.Fee == o.Fee && bytes.Equal(t.Extra, o.Extra) && bytes.Equal(t.Payload, o.Payload)
+}

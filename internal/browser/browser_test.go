@@ -1,0 +1,108 @@
+package browser
+
+import (
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/nocoin"
+	"repro/internal/webgen"
+)
+
+func TestLoadCompletionHeuristic(t *testing.T) {
+	cases := []struct {
+		name     string
+		p        webgen.LoadProfile
+		wantMs   int
+		wantTOut bool
+	}{
+		{"no load event times out at 15s",
+			webgen.LoadProfile{HasLoadEvent: false}, HardTimeoutMs, true},
+		{"quiet page: load + 2s",
+			webgen.LoadProfile{HasLoadEvent: true, LoadEventMs: 1000}, 3000, false},
+		{"dom change restarts the 2s timer",
+			webgen.LoadProfile{HasLoadEvent: true, LoadEventMs: 1000, DOMChangeMs: []int{1500}}, 4500, false},
+		{"busy dom capped at load + 5s",
+			webgen.LoadProfile{HasLoadEvent: true, LoadEventMs: 1000, DOMChangeMs: []int{1000, 2000, 3000, 4000, 4900}}, 6000, false},
+		{"late load event capped by hard timeout",
+			webgen.LoadProfile{HasLoadEvent: true, LoadEventMs: 14_500}, HardTimeoutMs, true},
+	}
+	for _, c := range cases {
+		got, tout := LoadCompletion(c.p)
+		if got != c.wantMs || tout != c.wantTOut {
+			t.Errorf("%s: (%d, %v), want (%d, %v)", c.name, got, tout, c.wantMs, c.wantTOut)
+		}
+	}
+}
+
+func TestVisitCapturesArtifacts(t *testing.T) {
+	site := &webgen.Site{
+		Domain: "dyn.org", Rank: 3, TLD: webgen.TLDOrg,
+		Categories: []string{"Business"},
+		Miner: &webgen.MinerDeployment{
+			Family: fingerprint.FamilyCoinhive, Version: 0,
+			Token: "tok-dyn001", OfficialLoader: false,
+		},
+		Load: webgen.LoadProfile{HasLoadEvent: true, LoadEventMs: 500},
+	}
+	page := Visit(site)
+	if len(page.Wasm) != 1 || len(page.WSHosts) != 1 {
+		t.Fatalf("wasm=%d ws=%d", len(page.Wasm), len(page.WSHosts))
+	}
+	if page.TimedOut {
+		t.Error("unexpected timeout")
+	}
+	if len(page.FinalHTML) == 0 || len(page.FinalHTML) > FinalHTMLCap {
+		t.Errorf("final HTML len = %d", len(page.FinalHTML))
+	}
+}
+
+func TestCrawlFindsDynamicMinersThatNoCoinMisses(t *testing.T) {
+	cfg := webgen.DefaultConfig(webgen.TLDAlexa, 60_000, 42)
+	corpus := webgen.Generate(cfg)
+	db := fingerprint.ReferenceDB()
+	rep := Crawl(corpus, db, nocoin.Bundled(), 4)
+
+	if rep.MinerSites == 0 {
+		t.Fatal("no miners found in a 60k Alexa corpus")
+	}
+	if rep.MinersMissedByNoCoin == 0 {
+		t.Error("NoCoin missed nothing — dynamic injection is not working")
+	}
+	if rep.MissRate() < 0.6 || rep.MissRate() > 0.95 {
+		t.Errorf("miss rate = %.2f, paper reports 0.82 for Alexa", rep.MissRate())
+	}
+	// Coinhive must dominate the family counts.
+	top, topN := "", 0
+	for f, n := range rep.FamilyCounts {
+		if n > topN {
+			top, topN = f, n
+		}
+	}
+	if top != fingerprint.FamilyCoinhive {
+		t.Errorf("top family = %s (%d), want coinhive; counts=%v", top, topN, rep.FamilyCounts)
+	}
+	// NoCoin flags more sites than actually carry mining Wasm (false
+	// positives: the ad-network sites).
+	if rep.NoCoinHits <= rep.NoCoinHitsWithMinerWasm {
+		t.Errorf("NoCoin hits %d vs with-wasm %d: FP population missing",
+			rep.NoCoinHits, rep.NoCoinHitsWithMinerWasm)
+	}
+	// Consistency identities.
+	if rep.MinersBlockedByNoCoin+rep.MinersMissedByNoCoin != rep.MinerSites {
+		t.Error("blocked+missed != miners")
+	}
+	if rep.WasmSites < rep.MinerSites {
+		t.Error("wasm sites < miner sites")
+	}
+}
+
+func TestCrawlTimeoutsAccounted(t *testing.T) {
+	cfg := webgen.DefaultConfig(webgen.TLDOrg, 5_000, 9)
+	cfg.TimeoutRate = 0.25
+	corpus := webgen.Generate(cfg)
+	rep := Crawl(corpus, fingerprint.ReferenceDB(), nocoin.Bundled(), 4)
+	frac := float64(rep.TimedOut) / float64(rep.Total)
+	if frac < 0.18 || frac > 0.32 {
+		t.Errorf("timeout fraction = %.3f, want ~0.25", frac)
+	}
+}

@@ -1,0 +1,419 @@
+// Package coinhive re-implements the observable behaviour of the Coinhive
+// service the paper dissects in §4: a Monero mining pool fronted by 32
+// WebSocket endpoints backed by 16 backend systems (each rotating 8 PoW
+// inputs, hence the paper's "at most 128 different PoW inputs per block"),
+// per-token share accounting with a 70/30 revenue split, the cnhv.co
+// short-link forwarding service, and the script/Wasm assets embedded by
+// customer websites.
+package coinhive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/blockchain"
+	"repro/internal/cryptonight"
+	"repro/internal/simclock"
+	"repro/internal/stratum"
+)
+
+// Topology constants observed by the paper.
+const (
+	DefaultNumBackends         = 16
+	DefaultTemplatesPerBackend = 8
+	DefaultEndpointsPerBackend = 2
+)
+
+// PoolConfig configures a Pool.
+type PoolConfig struct {
+	Chain               *blockchain.Chain
+	Wallet              blockchain.Address
+	Clock               simclock.Clock
+	NumBackends         int
+	TemplatesPerBackend int
+	EndpointsPerBackend int
+	// ShareDifficulty is the per-share difficulty for ordinary miners;
+	// LinkShareDifficulty the (lower) one for short-link visitors.
+	ShareDifficulty     uint64
+	LinkShareDifficulty uint64
+	// FeePercent is the pool's cut (Coinhive: 30).
+	FeePercent int
+}
+
+func (c *PoolConfig) fillDefaults() {
+	if c.NumBackends == 0 {
+		c.NumBackends = DefaultNumBackends
+	}
+	if c.TemplatesPerBackend == 0 {
+		c.TemplatesPerBackend = DefaultTemplatesPerBackend
+	}
+	if c.EndpointsPerBackend == 0 {
+		c.EndpointsPerBackend = DefaultEndpointsPerBackend
+	}
+	if c.ShareDifficulty == 0 {
+		c.ShareDifficulty = 256
+	}
+	if c.LinkShareDifficulty == 0 {
+		c.LinkShareDifficulty = 16
+	}
+	if c.FeePercent == 0 {
+		c.FeePercent = 30
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.Real()
+	}
+}
+
+// Account tracks one site key (the paper treats tokens and users as
+// synonymous).
+type Account struct {
+	Token         string
+	TotalHashes   uint64 // credited hash count over all time
+	BalanceAtomic uint64
+	PaidAtomic    uint64
+}
+
+// FoundBlock records a block the pool mined.
+type FoundBlock struct {
+	Height    uint64
+	Timestamp uint64
+	Backend   int
+	Reward    uint64
+}
+
+// Errors returned by SubmitShare.
+var (
+	ErrUnknownJob   = errors.New("coinhive: unknown or stale job")
+	ErrBadShare     = errors.New("coinhive: share hash does not verify")
+	ErrLowShare     = errors.New("coinhive: share above target")
+	ErrUnknownToken = errors.New("coinhive: unknown site key")
+)
+
+type jobRef struct {
+	backend  int
+	slot     int
+	tip      [32]byte
+	linkDiff bool
+}
+
+// Pool is the in-process pool core. The network front (Server) and the
+// simulation driver both operate through it.
+type Pool struct {
+	cfg PoolConfig
+
+	mu          sync.Mutex
+	hasher      *cryptonight.Hasher
+	templates   [][]*blockchain.Block // [backend][slot]
+	blobs       [][][]byte            // cached hashing blobs per template
+	jobBlobHex  [][]string            // cached obfuscated wire blobs
+	tip         [32]byte
+	jobSeq      uint64
+	jobs        map[string]jobRef
+	accounts    map[string]*Account
+	roundHashes map[string]uint64 // hashes credited since the last found block
+	links       *LinkStore
+	captchas    *CaptchaService
+	found       []FoundBlock
+	keptAtomic  uint64 // pool's 30% cut, cumulative
+	paidAtomic  uint64 // users' 70%, cumulative
+	sharesOK    uint64
+	sharesBad   uint64
+}
+
+// NewPool builds a pool over an existing chain.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	cfg.fillDefaults()
+	if cfg.Chain == nil {
+		return nil, errors.New("coinhive: PoolConfig.Chain is required")
+	}
+	h, err := cryptonight.NewHasher(cfg.Chain.Params().PowVariant)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		cfg:         cfg,
+		hasher:      h,
+		jobs:        map[string]jobRef{},
+		accounts:    map[string]*Account{},
+		roundHashes: map[string]uint64{},
+		links:       NewLinkStore(),
+		captchas:    NewCaptchaService(cfg.Wallet[:16]),
+	}
+	p.mu.Lock()
+	p.refreshTemplatesLocked()
+	p.mu.Unlock()
+	return p, nil
+}
+
+// Links exposes the short-link store.
+func (p *Pool) Links() *LinkStore { return p.links }
+
+// Captchas exposes the proof-of-work captcha service.
+func (p *Pool) Captchas() *CaptchaService { return p.captchas }
+
+// ShareDifficulty reports the hash credit per accepted share for the given
+// session kind; the network front uses it to credit captchas.
+func (p *Pool) ShareDifficulty(lowDiff bool) uint64 {
+	if lowDiff {
+		return p.cfg.LinkShareDifficulty
+	}
+	return p.cfg.ShareDifficulty
+}
+
+// Chain exposes the underlying chain.
+func (p *Pool) Chain() *blockchain.Chain { return p.cfg.Chain }
+
+// NumEndpoints returns the number of public WebSocket endpoints.
+func (p *Pool) NumEndpoints() int { return p.cfg.NumBackends * p.cfg.EndpointsPerBackend }
+
+// BackendOfEndpoint maps a public endpoint index to its backend system:
+// two endpoints share one backend, as the paper infers ("this suggests
+// that there are two endpoints per backend system").
+func (p *Pool) BackendOfEndpoint(endpoint int) int {
+	return endpoint % p.cfg.NumBackends
+}
+
+// refreshTemplatesLocked rebuilds the per-backend PoW inputs on a new tip.
+func (p *Pool) refreshTemplatesLocked() {
+	tip := p.cfg.Chain.TipID()
+	p.tip = tip
+	ts := uint64(p.cfg.Clock.Now().Unix())
+	p.templates = make([][]*blockchain.Block, p.cfg.NumBackends)
+	p.blobs = make([][][]byte, p.cfg.NumBackends)
+	p.jobBlobHex = make([][]string, p.cfg.NumBackends)
+	// Jobs issued against the previous tip can never verify again; drop
+	// them rather than letting the map grow for the chain's lifetime.
+	p.jobs = map[string]jobRef{}
+	for b := range p.templates {
+		p.templates[b] = make([]*blockchain.Block, p.cfg.TemplatesPerBackend)
+		p.blobs[b] = make([][]byte, p.cfg.TemplatesPerBackend)
+		p.jobBlobHex[b] = make([]string, p.cfg.TemplatesPerBackend)
+		for s := range p.templates[b] {
+			extra := make([]byte, 8)
+			extra[0] = 0xC4 // pool tag
+			extra[1] = byte(b)
+			extra[2] = byte(s)
+			binary.LittleEndian.PutUint32(extra[4:], uint32(p.jobSeq))
+			tmpl := p.cfg.Chain.NewTemplate(ts, p.cfg.Wallet, extra, nil)
+			p.templates[b][s] = tmpl
+			// The blob (and its embedded Merkle root) is fixed for the
+			// template's lifetime; caching it keeps the watcher's polling
+			// loop off the Keccak hot path.
+			blob := tmpl.HashingBlob()
+			p.blobs[b][s] = blob
+			wire := append([]byte(nil), blob...)
+			stratum.ObfuscateBlob(wire)
+			p.jobBlobHex[b][s] = stratum.EncodeBlob(wire)
+		}
+	}
+}
+
+// RefreshIfStale rebuilds templates when the chain tip moved (called by the
+// simulation after background miners extend the chain).
+func (p *Pool) RefreshIfStale() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tip != p.cfg.Chain.TipID() {
+		p.refreshTemplatesLocked()
+	}
+}
+
+// Authorize registers (or fetches) the account for a site key.
+func (p *Pool) Authorize(token string) *Account {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accountLocked(token)
+}
+
+func (p *Pool) accountLocked(token string) *Account {
+	a, ok := p.accounts[token]
+	if !ok {
+		a = &Account{Token: token}
+		p.accounts[token] = a
+	}
+	return a
+}
+
+// Job hands out the current PoW input for an endpoint and connection slot —
+// obfuscated, exactly as Coinhive serves it. slot selects one of the
+// backend's rotating templates, so polling one endpoint reveals at most
+// TemplatesPerBackend distinct inputs per block (the paper measured 8).
+func (p *Pool) Job(endpoint, slot int, forLink bool) stratum.Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tip != p.cfg.Chain.TipID() {
+		p.refreshTemplatesLocked()
+	}
+	b := p.BackendOfEndpoint(endpoint)
+	s := ((slot % p.cfg.TemplatesPerBackend) + p.cfg.TemplatesPerBackend) % p.cfg.TemplatesPerBackend
+	p.jobSeq++
+	id := strconv.FormatUint(p.jobSeq, 10)
+	p.jobs[id] = jobRef{backend: b, slot: s, tip: p.tip, linkDiff: forLink}
+	diff := p.cfg.ShareDifficulty
+	if forLink {
+		diff = p.cfg.LinkShareDifficulty
+	}
+	return stratum.Job{
+		JobID:  id,
+		Blob:   p.jobBlobHex[b][s],
+		Target: stratum.EncodeTarget(cryptonight.DifficultyForTarget(diff)),
+	}
+}
+
+// shareDiffOf returns the hash credit for a job.
+func (p *Pool) shareDiffOf(ref jobRef) uint64 {
+	if ref.linkDiff {
+		return p.cfg.LinkShareDifficulty
+	}
+	return p.cfg.ShareDifficulty
+}
+
+// SubmitShare verifies a miner's share. linkID, when non-empty, credits a
+// short link's hash goal instead of only the account. It returns the block
+// the share completed, if any (already appended to the chain and paid out).
+func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, linkID string) (*blockchain.Block, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	ref, ok := p.jobs[jobID]
+	if !ok || ref.tip != p.cfg.Chain.TipID() {
+		p.sharesBad++
+		return nil, ErrUnknownJob
+	}
+	tmpl := p.templates[ref.backend][ref.slot]
+	blob := tmpl.HashingBlob()
+	blockchain.SpliceNonce(blob, tmpl.NonceOffset(), nonce)
+	got := p.hasher.Sum(blob)
+	if got != result {
+		p.sharesBad++
+		return nil, ErrBadShare
+	}
+	diff := p.shareDiffOf(ref)
+	if !cryptonight.CheckCompactTarget(result, cryptonight.DifficultyForTarget(diff)) {
+		p.sharesBad++
+		return nil, ErrLowShare
+	}
+	p.sharesOK++
+	acct := p.accountLocked(token)
+	acct.TotalHashes += diff
+	p.roundHashes[token] += diff
+	if linkID != "" {
+		p.links.Credit(linkID, diff)
+	}
+
+	// Did the share also satisfy the network difficulty?
+	if !cryptonight.CheckDifficulty(result, p.cfg.Chain.NextDifficulty()) {
+		return nil, nil
+	}
+	won := &blockchain.Block{Header: tmpl.Header, Coinbase: tmpl.Coinbase, TxHashes: tmpl.TxHashes}
+	won.Nonce = nonce
+	if err := p.cfg.Chain.Append(won); err != nil {
+		return nil, fmt.Errorf("coinhive: chain rejected our block: %w", err)
+	}
+	p.settleBlockLocked(won, ref.backend)
+	p.refreshTemplatesLocked()
+	return won, nil
+}
+
+// ProduceWinningBlock is the simulation fast path: the discrete-event
+// network decided the pool's aggregate hash power found the next block, so
+// one of the current templates is promoted to a real block (bypassing PoW
+// verification — see blockchain.AppendUnchecked) and settled. backend and
+// nonce are chosen by the caller's randomness; the winning template slot is
+// derived from the nonce so all 128 live PoW inputs are possible winners.
+func (p *Pool) ProduceWinningBlock(ts uint64, backend int, nonce uint32) (*blockchain.Block, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tip != p.cfg.Chain.TipID() {
+		p.refreshTemplatesLocked()
+	}
+	b := ((backend % p.cfg.NumBackends) + p.cfg.NumBackends) % p.cfg.NumBackends
+	tmpl := p.templates[b][int(nonce)%p.cfg.TemplatesPerBackend]
+	won := &blockchain.Block{Header: tmpl.Header, Coinbase: tmpl.Coinbase, TxHashes: tmpl.TxHashes}
+	if ts > won.Timestamp {
+		won.Timestamp = ts
+	}
+	won.Nonce = nonce
+	if err := p.cfg.Chain.AppendUnchecked(won); err != nil {
+		return nil, err
+	}
+	p.settleBlockLocked(won, b)
+	p.refreshTemplatesLocked()
+	return won, nil
+}
+
+// settleBlockLocked distributes a found block's reward: FeePercent stays
+// with the pool, the rest is split across accounts in proportion to the
+// hashes they contributed this round.
+func (p *Pool) settleBlockLocked(b *blockchain.Block, backend int) {
+	reward := b.Coinbase.Amount
+	// Users receive floor(reward × (100−fee)%); rounding dust favours the
+	// pool, as any self-respecting fee schedule would.
+	userPart := reward * uint64(100-p.cfg.FeePercent) / 100
+	var total uint64
+	for _, h := range p.roundHashes {
+		total += h
+	}
+	distributed := uint64(0)
+	if total > 0 {
+		for token, h := range p.roundHashes {
+			cut := userPart * h / total
+			p.accounts[token].BalanceAtomic += cut
+			distributed += cut
+		}
+	}
+	// Rounding dust (and the whole user part, when nobody contributed
+	// shares this round) stays with the pool.
+	p.keptAtomic += reward - distributed
+	p.paidAtomic += distributed
+	p.roundHashes = map[string]uint64{}
+	height := p.cfg.Chain.Height()
+	p.found = append(p.found, FoundBlock{
+		Height: height, Timestamp: b.Timestamp, Backend: backend, Reward: reward,
+	})
+}
+
+// Stats is a snapshot of pool economics.
+type Stats struct {
+	BlocksFound   int
+	SharesOK      uint64
+	SharesBad     uint64
+	PaidAtomic    uint64
+	KeptAtomic    uint64
+	TotalAccounts int
+}
+
+// StatsSnapshot returns current counters.
+func (p *Pool) StatsSnapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		BlocksFound:   len(p.found),
+		SharesOK:      p.sharesOK,
+		SharesBad:     p.sharesBad,
+		PaidAtomic:    p.paidAtomic,
+		KeptAtomic:    p.keptAtomic,
+		TotalAccounts: len(p.accounts),
+	}
+}
+
+// FoundBlocks returns the record of every block the pool mined.
+func (p *Pool) FoundBlocks() []FoundBlock {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FoundBlock(nil), p.found...)
+}
+
+// AccountSnapshot returns a copy of the account for token, if present.
+func (p *Pool) AccountSnapshot(token string) (Account, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[token]
+	if !ok {
+		return Account{}, false
+	}
+	return *a, true
+}

@@ -1,0 +1,287 @@
+package coinhive
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/fingerprint"
+	"repro/internal/stratum"
+	"repro/internal/ws"
+)
+
+// MinerScript is the JavaScript loader customers embed. It carries the
+// markers (file name, global symbol) that the NoCoin filter list keys on —
+// matching the real deployment, where the script URL alone was enough for
+// block lists while the Wasm payload was not.
+const MinerScript = `/* coinhive.min.js — Monetize Your Business With Your Users' CPU Power */
+/* usage: var miner = new CoinHive.Anonymous('SITE_KEY'); miner.start(); */
+var CoinHive=(function(){
+  var W="/lib/cryptonight.wasm";
+  function Anonymous(siteKey,opts){this.k=siteKey;this.o=opts||{};}
+  Anonymous.prototype.start=function(){
+    this._ws=new WebSocket(this.o.endpoint||"wss://ws001.coinhive.com/proxy");
+    this._wasm=fetch(W);
+  };
+  function User(siteKey,user,opts){Anonymous.call(this,siteKey,opts);this.u=user;}
+  return {Anonymous:Anonymous,User:User,CONFIG:{LIB_URL:W}};
+})();`
+
+// Server is the HTTP/WebSocket front of the service: the 32 /proxyN pool
+// endpoints, the miner assets, and the cnhv.co short-link pages.
+type Server struct {
+	Pool    *Pool
+	connSeq uint64
+}
+
+// NewServer wraps a pool.
+func NewServer(p *Pool) *Server { return &Server{Pool: p} }
+
+// ServeHTTP routes all service endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case strings.HasPrefix(path, "/proxy"):
+		n, err := strconv.Atoi(strings.TrimPrefix(path, "/proxy"))
+		if err != nil || n < 0 || n >= s.Pool.NumEndpoints() {
+			http.NotFound(w, r)
+			return
+		}
+		s.serveWS(w, r, n)
+	case path == "/lib/coinhive.min.js":
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprint(w, MinerScript)
+	case path == "/lib/cryptonight.wasm":
+		spec, _ := fingerprint.SpecByName(fingerprint.FamilyCoinhive)
+		w.Header().Set("Content-Type", "application/wasm")
+		w.Write(fingerprint.BinaryFor(spec, spec.Versions-1))
+	case strings.HasPrefix(path, "/cn/"):
+		s.serveLinkPage(w, r, strings.TrimPrefix(path, "/cn/"))
+	case path == "/api/link/create" && r.Method == http.MethodPost:
+		s.serveLinkCreate(w, r)
+	case path == "/api/captcha/create" && r.Method == http.MethodPost:
+		s.serveCaptchaCreate(w, r)
+	case path == "/api/captcha/verify" && r.Method == http.MethodPost:
+		s.serveCaptchaVerify(w, r)
+	case path == "/api/stats":
+		s.serveStats(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveLinkPage renders the interstitial progress page. The markup carries
+// the creator token and required hash count as data attributes — exactly
+// the two fields the paper's scraper collected from each cnhv.co page.
+func (s *Server) serveLinkPage(w http.ResponseWriter, r *http.Request, id string) {
+	link, err := s.Pool.Links().Get(id)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, `<!doctype html>
+<html><head><title>cnhv.co/%s</title>
+<script src="/lib/coinhive.min.js"></script>
+</head><body>
+<div class="proof-of-work" data-key="%s" data-hashes="%d" data-link="%s">
+  <div class="progress"><span class="bar" style="width:0%%"></span></div>
+  <p>Please wait while we verify your browser (%d hashes required)&hellip;</p>
+</div>
+<script>var miner=new CoinHive.User("%s","link:%s",{goal:%d});miner.start();</script>
+</body></html>`,
+		link.ID, link.Token, link.Required, link.ID, link.Required,
+		link.Token, link.ID, link.Required)
+}
+
+func (s *Server) serveLinkCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Token  string `json:"token"`
+		URL    string `json:"url"`
+		Hashes uint64 `json:"hashes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Token == "" || req.URL == "" {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	if req.Hashes == 0 {
+		req.Hashes = 1024
+	}
+	id := s.Pool.Links().Create(req.Token, req.URL, req.Hashes)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"id": id})
+}
+
+func (s *Server) serveCaptchaCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SiteKey string `json:"site_key"`
+		Hashes  uint64 `json:"hashes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SiteKey == "" {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	c := s.Pool.Captchas().Create(req.SiteKey, req.Hashes)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{"id": c.ID, "hashes": c.Required})
+}
+
+// serveCaptchaVerify is the server-to-server check a customer backend makes.
+func (s *Server) serveCaptchaVerify(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID    string `json:"id"`
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	err := s.Pool.Captchas().Verify(req.ID, req.Token)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"success": err == nil,
+		"error":   errString(err),
+	})
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func (s *Server) serveStats(w http.ResponseWriter) {
+	st := s.Pool.StatsSnapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// serveWS runs one miner session on endpoint n.
+func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	slot := int(atomic.AddUint64(&s.connSeq, 1))
+
+	send := func(msgType string, params interface{}) error {
+		data, err := stratum.Marshal(msgType, params)
+		if err != nil {
+			return err
+		}
+		return conn.WriteMessage(ws.OpText, data)
+	}
+	fail := func(msg string) {
+		_ = send(stratum.TypeError, stratum.Error{Error: msg})
+	}
+
+	// First message must be auth.
+	_, data, err := conn.ReadMessage()
+	if err != nil {
+		return
+	}
+	env, err := stratum.Unmarshal(data)
+	if err != nil || env.Type != stratum.TypeAuth {
+		fail("expected auth")
+		return
+	}
+	var auth stratum.Auth
+	if err := env.Decode(&auth); err != nil || auth.SiteKey == "" {
+		fail("invalid site key")
+		return
+	}
+	linkID := ""
+	captchaID := ""
+	switch {
+	case strings.HasPrefix(auth.User, "link:"):
+		linkID = strings.TrimPrefix(auth.User, "link:")
+		if _, err := s.Pool.Links().Get(linkID); err != nil {
+			fail("unknown link")
+			return
+		}
+	case strings.HasPrefix(auth.User, "captcha:"):
+		captchaID = strings.TrimPrefix(auth.User, "captcha:")
+		if _, err := s.Pool.Captchas().Credit(captchaID, 0); err != nil {
+			fail("unknown captcha")
+			return
+		}
+	}
+	lowDiff := linkID != "" || captchaID != ""
+	acct := s.Pool.Authorize(auth.SiteKey)
+	if err := send(stratum.TypeAuthed, stratum.Authed{Token: acct.Token, Hashes: int64(acct.TotalHashes)}); err != nil {
+		return
+	}
+	if err := send(stratum.TypeJob, s.Pool.Job(endpoint, slot, lowDiff)); err != nil {
+		return
+	}
+
+	for {
+		_, data, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		env, err := stratum.Unmarshal(data)
+		if err != nil {
+			fail("bad message")
+			return
+		}
+		if env.Type != stratum.TypeSubmit {
+			fail("unexpected " + env.Type)
+			continue
+		}
+		var sub stratum.Submit
+		if err := env.Decode(&sub); err != nil {
+			fail("bad submit")
+			continue
+		}
+		nonce, err := stratum.DecodeNonce(sub.Nonce)
+		if err != nil {
+			fail("bad nonce")
+			continue
+		}
+		resBytes, err := stratum.DecodeBlob(sub.Result)
+		if err != nil || len(resBytes) != 32 {
+			fail("bad result")
+			continue
+		}
+		var result [32]byte
+		copy(result[:], resBytes)
+		_, err = s.Pool.SubmitShare(auth.SiteKey, sub.JobID, nonce, result, linkID)
+		switch err {
+		case nil:
+			a, _ := s.Pool.AccountSnapshot(auth.SiteKey)
+			if err := send(stratum.TypeHashAccepted, stratum.HashAccepted{Hashes: int64(a.TotalHashes)}); err != nil {
+				return
+			}
+			if linkID != "" {
+				if url, derr := s.Pool.Links().Destination(linkID); derr == nil {
+					if err := send(stratum.TypeLinkResolved, stratum.LinkResolved{ID: linkID, URL: url}); err != nil {
+						return
+					}
+				}
+			}
+			if captchaID != "" {
+				cap, cerr := s.Pool.Captchas().Credit(captchaID, s.Pool.ShareDifficulty(true))
+				if cerr == nil && cap.Solved() {
+					// Reuse the link_resolved push to hand the widget its
+					// verification token.
+					if err := send(stratum.TypeLinkResolved, stratum.LinkResolved{ID: captchaID, URL: cap.Token}); err != nil {
+						return
+					}
+				}
+			}
+		case ErrUnknownJob:
+			// Stale tip: silently hand out fresh work below.
+		default:
+			fail(err.Error())
+		}
+		if err := send(stratum.TypeJob, s.Pool.Job(endpoint, slot, lowDiff)); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package core exposes the paper's two primary contributions behind a
+// compact API, assembled from the substrate packages:
+//
+//   - Detector — the §3.2 WebAssembly fingerprinting method, combined with
+//     the NoCoin block-list baseline it is evaluated against. One call
+//     classifies a visited page both ways.
+//   - Attributor — the §4.2 blockchain-association method: feed it the PoW
+//     inputs collected from a pool's endpoints and it proves which chain
+//     blocks that pool mined.
+//
+// Downstream users who only want "detect miners on this page" or "tell me
+// which blocks are this pool's" start here; the internal packages remain
+// available for finer control.
+package core
+
+import (
+	"repro/internal/blockchain"
+	"repro/internal/fingerprint"
+	"repro/internal/htmlx"
+	"repro/internal/nocoin"
+	"repro/internal/poolwatch"
+	"repro/internal/wasm"
+)
+
+// PageObservation is everything the instrumented browser hands the
+// detector about one visit: the post-execution HTML, every instantiated
+// WebAssembly module, and the Websocket endpoints the page dialled.
+type PageObservation struct {
+	FinalHTML string
+	Wasm      [][]byte
+	WSHosts   []string
+}
+
+// Detection is the combined verdict for a page.
+type Detection struct {
+	// BlockListHit reports whether the NoCoin list flags the page.
+	BlockListHit bool
+	// MinerWasm reports whether any Wasm module is mining code.
+	MinerWasm bool
+	// Family attributes the miner ("" when MinerWasm is false).
+	Family string
+	// KnownSignature is true on an exact signature-database hit.
+	KnownSignature bool
+	// MissedByBlockList marks the paper's headline case: a Wasm-confirmed
+	// miner the block list does not flag.
+	MissedByBlockList bool
+}
+
+// Detector bundles the Wasm signature database with a filter list.
+type Detector struct {
+	DB   *fingerprint.DB
+	List *nocoin.List
+}
+
+// NewDetector returns a Detector with the reference signature database and
+// the bundled NoCoin-equivalent list.
+func NewDetector() *Detector {
+	return &Detector{DB: fingerprint.ReferenceDB(), List: nocoin.Bundled()}
+}
+
+// Inspect classifies one page observation.
+func (d *Detector) Inspect(obs PageObservation) Detection {
+	var det Detection
+	scripts := htmlx.ExtractScripts(obs.FinalHTML)
+	refs := make([]nocoin.ScriptRef, len(scripts))
+	for i, s := range scripts {
+		refs[i] = nocoin.ScriptRef{Src: s.Src, Inline: s.Inline}
+	}
+	det.BlockListHit = len(d.List.MatchScripts(refs)) > 0
+	for _, bin := range obs.Wasm {
+		m, err := wasm.Decode(bin)
+		if err != nil {
+			continue
+		}
+		v := d.DB.Classify(m, obs.WSHosts)
+		if v.Miner {
+			det.MinerWasm = true
+			det.Family = v.Family
+			det.KnownSignature = v.Known
+		}
+	}
+	det.MissedByBlockList = det.MinerWasm && !det.BlockListHit
+	return det
+}
+
+// Attributor wraps the §4.2 watcher for callers that already have a job
+// source and a chain view.
+type Attributor struct {
+	Watcher *poolwatch.Watcher
+}
+
+// NewAttributor builds an attributor polling all the given endpoints.
+func NewAttributor(source poolwatch.JobSource, chain *blockchain.Chain, endpoints int) *Attributor {
+	return &Attributor{Watcher: poolwatch.New(poolwatch.Config{
+		Source: source, Chain: chain, Endpoints: endpoints,
+	})}
+}
+
+// Collect performs one full polling pass over the pool's endpoints and
+// resolves any clusters whose successor block has since appeared (without
+// the interleaved sweep, long collections would overflow the bounded
+// pending-cluster window and drop attributions).
+func (a *Attributor) Collect() {
+	a.Watcher.PollAllEndpoints()
+	a.Watcher.Sweep()
+}
+
+// Attributed resolves collected inputs against the chain and returns the
+// blocks proven to belong to the observed pool.
+func (a *Attributor) Attributed() []poolwatch.AttributedBlock {
+	a.Watcher.Sweep()
+	return a.Watcher.Attributed()
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/fingerprint"
+	"repro/internal/simclock"
+	"repro/internal/simnet"
+	"repro/internal/webgen"
+)
+
+func TestDetectorOnSyntheticPages(t *testing.T) {
+	d := NewDetector()
+
+	// A stock-loader coinhive page: both methods fire.
+	official := &webgen.Site{
+		Domain: "a.org", Rank: 1, Categories: []string{"Gaming"},
+		Miner: &webgen.MinerDeployment{
+			Family: fingerprint.FamilyCoinhive, Version: 0,
+			Token: "tok-aaaaaa", OfficialLoader: true,
+		},
+	}
+	art := webgen.Execute(official)
+	det := d.Inspect(PageObservation{FinalHTML: art.FinalHTML, Wasm: art.Wasm, WSHosts: art.WSHosts})
+	if !det.BlockListHit || !det.MinerWasm || det.Family != fingerprint.FamilyCoinhive {
+		t.Errorf("official loader: %+v", det)
+	}
+	if det.MissedByBlockList {
+		t.Error("official loader marked as missed")
+	}
+
+	// A self-hosted deployment: only the Wasm method fires.
+	hidden := &webgen.Site{
+		Domain: "b.org", Rank: 2, Categories: []string{"Business"},
+		Miner: &webgen.MinerDeployment{
+			Family: fingerprint.FamilySkencituer, Version: 1,
+			Token: "tok-bbbbbb", OfficialLoader: false,
+		},
+	}
+	art = webgen.Execute(hidden)
+	det = d.Inspect(PageObservation{FinalHTML: art.FinalHTML, Wasm: art.Wasm, WSHosts: art.WSHosts})
+	if det.BlockListHit {
+		t.Error("self-hosted loader matched the block list")
+	}
+	if !det.MinerWasm || !det.MissedByBlockList {
+		t.Errorf("self-hosted: %+v", det)
+	}
+
+	// A plain page: nothing fires.
+	plain := &webgen.Site{Domain: "c.org", Rank: 3, Categories: []string{"News"}}
+	art = webgen.Execute(plain)
+	det = d.Inspect(PageObservation{FinalHTML: art.FinalHTML})
+	if det.BlockListHit || det.MinerWasm {
+		t.Errorf("plain page: %+v", det)
+	}
+}
+
+func TestAttributorEndToEnd(t *testing.T) {
+	sim := simclock.New(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC))
+	params := blockchain.SimParams()
+	params.MinDifficulty = uint64(500e6 * 120)
+	chain, err := blockchain.NewChain(params, uint64(sim.Now().Unix()), blockchain.AddressFromString("g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain: chain, Wallet: blockchain.AddressFromString("coinhive"), Clock: sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simnet.Bootstrap(chain, sim); err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(simnet.Config{
+		Sim: sim, Chain: chain, Pool: pool,
+		PoolHashRate: 100e6, NetworkHashRate: 500e6, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAttributor(net, chain, pool.NumEndpoints())
+	net.Start()
+	lastTip := chain.TipID()
+	stop := sim.Every(time.Second, func() {
+		if tip := chain.TipID(); tip != lastTip {
+			lastTip = tip
+			a.Collect()
+		}
+	})
+	sim.RunFor(6 * time.Hour)
+	stop()
+
+	got := a.Attributed()
+	want := pool.FoundBlocks()
+	if len(want) == 0 {
+		t.Fatal("pool mined nothing in six hours at 20% share")
+	}
+	if len(got) < len(want)*9/10 {
+		t.Errorf("attributed %d of %d", len(got), len(want))
+	}
+	wallet := blockchain.AddressFromString("coinhive")
+	for _, ab := range got {
+		if b := chain.BlockByHeight(ab.Height); b == nil || b.Coinbase.To != wallet {
+			t.Fatalf("false positive at height %d", ab.Height)
+		}
+	}
+}

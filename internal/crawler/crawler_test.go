@@ -1,0 +1,120 @@
+package crawler
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/nocoin"
+	"repro/internal/webgen"
+)
+
+func TestCorpusFetcherHonoursTLSBreakage(t *testing.T) {
+	cfg := webgen.DefaultConfig(webgen.TLDOrg, 2, 5)
+	c := webgen.Generate(cfg)
+	c.Sites[0].Load.TLSBroken = true
+	c.Sites[1].Load.TLSBroken = false
+	f := NewCorpusFetcher(c)
+	if res := f.Fetch(c.Sites[0].Domain); res.OK {
+		t.Error("TLS-broken site fetched")
+	}
+	if res := f.Fetch(c.Sites[1].Domain); !res.OK || len(res.Body) == 0 {
+		t.Errorf("healthy site fetch = %+v", res)
+	}
+	if res := f.Fetch("nxdomain.example"); res.OK || res.Err != "NXDOMAIN" {
+		t.Errorf("nxdomain fetch = %+v", res)
+	}
+}
+
+func TestScanPageFindsMinerLoader(t *testing.T) {
+	site := &webgen.Site{
+		Domain: "m.org", Rank: 1, Categories: []string{"Gaming"},
+		Miner: &webgen.MinerDeployment{
+			Family: "coinhive", Token: "tok-x", OfficialLoader: true,
+		},
+	}
+	body := webgen.RenderStaticHTML(site)
+	matches := ScanPage(nocoin.Bundled(), body)
+	if len(matches) == 0 {
+		t.Fatal("static coinhive loader not matched")
+	}
+	if fam := FamilyOfMatch(matches[0]); fam != "coinhive" {
+		t.Errorf("family = %q", fam)
+	}
+}
+
+func TestFamilyOfMatchLabels(t *testing.T) {
+	list := nocoin.Bundled()
+	cases := map[string]string{
+		"https://coinhive.com/lib/coinhive.min.js":     "coinhive",
+		"https://authedmine.com/lib/authedmine.min.js": "authedmine",
+		"https://www.wp-monero-miner.com/js/miner.js":  "wp-monero",
+		"https://crypto-loot.com/lib/miner.js":         "cryptoloot",
+		"https://cdn.cpmstar.com/cached/js/cpmstar.js": "cpmstar",
+		"https://deepminer.net/lib/deepminer.min.js":   "other",
+	}
+	for url, want := range cases {
+		m, ok := list.MatchURL(url)
+		if !ok {
+			t.Errorf("no rule for %s", url)
+			continue
+		}
+		if got := FamilyOfMatch(nocoin.Match{Rule: m, Target: url}); got != want {
+			t.Errorf("FamilyOfMatch(%s) = %q, want %q", url, got, want)
+		}
+	}
+}
+
+func TestScanCorpusEndToEnd(t *testing.T) {
+	cfg := webgen.DefaultConfig(webgen.TLDAlexa, 80_000, 17)
+	c := webgen.Generate(cfg)
+	rep := Scan(c, NewCorpusFetcher(c), nocoin.Bundled(), 4)
+	if rep.Total != 80_000 {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	if rep.Fetched >= rep.Total {
+		t.Error("TLS-broken population missing: everything fetched")
+	}
+	if len(rep.Hits) == 0 {
+		t.Fatal("no NoCoin hits in an Alexa-calibrated corpus")
+	}
+	// Alexa hit rate ≈ 0.07–0.08% of probed sites.
+	rate := rep.HitRate()
+	if rate < 0.0003 || rate > 0.002 {
+		t.Errorf("hit rate = %.5f, want ~0.001 of fetched", rate)
+	}
+	if rep.FamilyCounts["coinhive"] == 0 {
+		t.Error("no coinhive hits")
+	}
+	if rep.FamilyCounts["cpmstar"] == 0 {
+		t.Error("no cpmstar false positives")
+	}
+}
+
+func TestHTTPFetcherTruncatesAtCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A page that never wants to stop.
+		chunk := strings.Repeat("x", 64<<10)
+		for i := 0; i < 10; i++ {
+			fmt.Fprint(w, chunk)
+		}
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{BaseURL: srv.URL}
+	res := f.Fetch("whatever.org")
+	if !res.OK {
+		t.Fatalf("fetch failed: %s", res.Err)
+	}
+	if len(res.Body) != MaxBody {
+		t.Errorf("body len = %d, want %d", len(res.Body), MaxBody)
+	}
+}
+
+func TestHTTPFetcherReportsErrors(t *testing.T) {
+	f := &HTTPFetcher{BaseURL: "http://127.0.0.1:1"}
+	if res := f.Fetch("x.org"); res.OK {
+		t.Error("fetch against a closed port succeeded")
+	}
+}

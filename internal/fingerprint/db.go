@@ -1,0 +1,268 @@
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/wasm"
+)
+
+// Signature identifies a Wasm assembly: SHA-256 over the module's function
+// bodies "combining (in a strict order) and then hashing the contained
+// functions" (§3.2). Only code bodies enter the hash, so cosmetic
+// differences in names, exports or data segments do not split signatures —
+// but any reordering or change of a single function body does.
+type Signature [32]byte
+
+// SignatureOf computes the signature of a decoded module.
+func SignatureOf(m *wasm.Module) Signature {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, c := range m.Codes {
+		// Length-prefix each body so (A,BC) never collides with (AB,C).
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(c.Body)))
+		h.Write(lenBuf[:])
+		h.Write(c.Body)
+	}
+	var sig Signature
+	copy(sig[:], h.Sum(nil))
+	return sig
+}
+
+// Entry is one assembly in the signature database.
+type Entry struct {
+	Sig     Signature
+	Family  string
+	Version int
+	Miner   bool
+}
+
+// Verdict is the classification result for one captured module.
+type Verdict struct {
+	Miner    bool
+	Family   string
+	Known    bool // exact signature hit
+	Features wasm.Features
+}
+
+// DB is the signature database plus the heuristics used when no signature
+// matches. It is safe for concurrent lookups.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[Signature]Entry
+	// backends maps a pool endpoint domain suffix to a family name, used to
+	// attribute unknown miners by their Websocket backend.
+	backends map[string]string
+	// hints maps a function-name fragment to a family.
+	hints map[string]string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		entries:  map[Signature]Entry{},
+		backends: map[string]string{},
+		hints:    map[string]string{},
+	}
+}
+
+// Register adds an assembly to the database.
+func (db *DB) Register(e Entry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries[e.Sig] = e
+}
+
+// RegisterBackend associates a Websocket backend domain with a family.
+func (db *DB) RegisterBackend(domain, family string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.backends[strings.ToLower(domain)] = family
+}
+
+// RegisterHint associates a function-name fragment with a family. The
+// first registration for a fragment wins; catalog order thus encodes
+// attribution priority for shared symbols (Coinhive and its consent-asking
+// Authedmine variant ship the same hash kernel symbol).
+func (db *DB) RegisterHint(fragment, family string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	frag := strings.ToLower(fragment)
+	if _, taken := db.hints[frag]; !taken {
+		db.hints[frag] = family
+	}
+}
+
+// Len reports the number of registered assemblies.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Lookup returns the entry for an exact signature match.
+func (db *DB) Lookup(sig Signature) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[sig]
+	return e, ok
+}
+
+// Heuristic thresholds, chosen to separate hash-function bodies from the
+// benign corpus (see TestHeuristicSeparation). A hash kernel's XOR density
+// per *instruction* is lower than per *operation* because every ALU op is
+// bracketed by local.get/local.set traffic; the thresholds account for that
+// ~3.5× dilution.
+const (
+	minMixRatio  = 0.07  // XOR/shift/rotate fraction of all instructions
+	minMemRatio  = 0.025 // loads+stores fraction of all instructions
+	minerMinOps  = 500   // total instructions
+	minerMinPage = 4     // linear memory pages (scratchpad evidence)
+)
+
+// Classify decides whether a module is a miner and attributes a family.
+// wsHosts lists the Websocket endpoints the embedding page dialled while
+// the module ran (from the browser instrumentation); it may be nil.
+func (db *DB) Classify(m *wasm.Module, wsHosts []string) Verdict {
+	feats, err := wasm.ExtractFeatures(m)
+	if err != nil {
+		return Verdict{Family: FamilyBenign}
+	}
+	v := Verdict{Features: feats}
+
+	if e, ok := db.Lookup(SignatureOf(m)); ok {
+		v.Known = true
+		v.Miner = e.Miner
+		v.Family = e.Family
+		if !e.Miner {
+			v.Family = FamilyBenign
+		}
+		return v
+	}
+
+	// Heuristic: hash kernels are XOR/shift-dense, touch memory a lot and
+	// need a scratchpad-sized linear memory.
+	looksMiner := feats.MixRatio() >= minMixRatio &&
+		feats.MemoryRatio() >= minMemRatio &&
+		feats.Ops >= minerMinOps &&
+		feats.Pages >= minerMinPage
+	if !looksMiner {
+		v.Family = FamilyBenign
+		return v
+	}
+	v.Miner = true
+
+	// Attribute the family. The Websocket backend is checked first — the
+	// paper's strongest distinguishing feature — and function-name hints
+	// second. Hint matching picks the longest matching fragment so that a
+	// specific symbol beats a generic substring deterministically.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, host := range wsHosts {
+		low := strings.ToLower(host)
+		for dom, fam := range db.backends {
+			if low == dom || strings.HasSuffix(low, "."+dom) {
+				v.Family = fam
+				return v
+			}
+		}
+	}
+	bestLen := 0
+	for _, name := range m.Names {
+		low := strings.ToLower(name)
+		for frag, fam := range db.hints {
+			if len(frag) > bestLen && strings.Contains(low, frag) {
+				bestLen = len(frag)
+				v.Family = fam
+			}
+		}
+	}
+	if bestLen > 0 {
+		return v
+	}
+	// Unattributed miners are labelled by their transport, as in Table 1.
+	v.Family = FamilyUnknownWSS
+	return v
+}
+
+// ReferenceDB builds the full ~160-assembly database from the catalog,
+// including backend and name-hint tables. The Fig. 2/Table 1 experiments
+// use this as "our Miner Wasm signature database".
+func ReferenceDB() *DB {
+	db := NewDB()
+	for _, spec := range Catalog() {
+		for v := 0; v < spec.Versions; v++ {
+			db.Register(Entry{
+				Sig:     SignatureOf(ModuleFor(spec, v)),
+				Family:  spec.Name,
+				Version: v,
+				Miner:   spec.Miner,
+			})
+		}
+		if spec.Backend != "" {
+			db.RegisterBackend(spec.Backend, spec.Name)
+		}
+		if spec.NameHint != "" && spec.Miner {
+			db.RegisterHint(spec.NameHint, spec.Name)
+		}
+	}
+	return db
+}
+
+// PartialDB builds a database that knows only every skipEvery-th version of
+// each family. The Table 2-style ablation uses it to measure how much the
+// heuristic layer recovers when the signature corpus is incomplete.
+func PartialDB(skipEvery int) *DB {
+	db := NewDB()
+	for _, spec := range Catalog() {
+		for v := 0; v < spec.Versions; v++ {
+			if skipEvery > 1 && v%skipEvery != 0 {
+				continue
+			}
+			db.Register(Entry{
+				Sig:     SignatureOf(ModuleFor(spec, v)),
+				Family:  spec.Name,
+				Version: v,
+				Miner:   spec.Miner,
+			})
+		}
+		if spec.Backend != "" {
+			db.RegisterBackend(spec.Backend, spec.Name)
+		}
+		if spec.NameHint != "" && spec.Miner {
+			db.RegisterHint(spec.NameHint, spec.Name)
+		}
+	}
+	return db
+}
+
+// TopFamilies tallies verdicts by family and returns (family, count) pairs
+// sorted descending — the shape of the paper's Table 1.
+func TopFamilies(verdicts []Verdict) []FamilyCount {
+	counts := map[string]int{}
+	for _, v := range verdicts {
+		if v.Miner {
+			counts[v.Family]++
+		}
+	}
+	out := make([]FamilyCount, 0, len(counts))
+	for f, c := range counts {
+		out = append(out, FamilyCount{Family: f, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Family < out[j].Family
+	})
+	return out
+}
+
+// FamilyCount is one Table 1 row.
+type FamilyCount struct {
+	Family string
+	Count  int
+}

@@ -1,0 +1,210 @@
+// Package keccak implements the original (pre-NIST) Keccak hash family as
+// used by Monero and CryptoNight: Keccak-f[1600] permutation, Keccak-256 and
+// Keccak-512 with the legacy 0x01 domain-separation padding (NIST SHA-3 later
+// changed this to 0x06, which is why SHA3-256 digests differ from Monero's).
+//
+// The package also exposes the raw 200-byte sponge state initialisation used
+// by CryptoNight, which absorbs the input and returns the full state rather
+// than a truncated digest.
+package keccak
+
+import (
+	"encoding/binary"
+	"hash"
+	"math/bits"
+)
+
+// StateSize is the size of the Keccak-f[1600] state in bytes.
+const StateSize = 200
+
+// roundConstants are the 24 iota round constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// Permute applies the full 24-round Keccak-f[1600] permutation in place.
+func Permute(a *[25]uint64) {
+	var bc [5]uint64
+	var t uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		bc[0] = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20]
+		bc[1] = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21]
+		bc[2] = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22]
+		bc[3] = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23]
+		bc[4] = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24]
+		for i := 0; i < 5; i++ {
+			t = bc[(i+4)%5] ^ bits.RotateLeft64(bc[(i+1)%5], 1)
+			a[i] ^= t
+			a[i+5] ^= t
+			a[i+10] ^= t
+			a[i+15] ^= t
+			a[i+20] ^= t
+		}
+		// Rho and Pi.
+		t = a[1]
+		t, a[10] = a[10], bits.RotateLeft64(t, 1)
+		t, a[7] = a[7], bits.RotateLeft64(t, 3)
+		t, a[11] = a[11], bits.RotateLeft64(t, 6)
+		t, a[17] = a[17], bits.RotateLeft64(t, 10)
+		t, a[18] = a[18], bits.RotateLeft64(t, 15)
+		t, a[3] = a[3], bits.RotateLeft64(t, 21)
+		t, a[5] = a[5], bits.RotateLeft64(t, 28)
+		t, a[16] = a[16], bits.RotateLeft64(t, 36)
+		t, a[8] = a[8], bits.RotateLeft64(t, 45)
+		t, a[21] = a[21], bits.RotateLeft64(t, 55)
+		t, a[24] = a[24], bits.RotateLeft64(t, 2)
+		t, a[4] = a[4], bits.RotateLeft64(t, 14)
+		t, a[15] = a[15], bits.RotateLeft64(t, 27)
+		t, a[23] = a[23], bits.RotateLeft64(t, 41)
+		t, a[19] = a[19], bits.RotateLeft64(t, 56)
+		t, a[13] = a[13], bits.RotateLeft64(t, 8)
+		t, a[12] = a[12], bits.RotateLeft64(t, 25)
+		t, a[2] = a[2], bits.RotateLeft64(t, 43)
+		t, a[20] = a[20], bits.RotateLeft64(t, 62)
+		t, a[14] = a[14], bits.RotateLeft64(t, 18)
+		t, a[22] = a[22], bits.RotateLeft64(t, 39)
+		t, a[9] = a[9], bits.RotateLeft64(t, 61)
+		t, a[6] = a[6], bits.RotateLeft64(t, 20)
+		_, a[1] = a[1], bits.RotateLeft64(t, 44)
+		// Chi.
+		for j := 0; j < 25; j += 5 {
+			bc[0] = a[j]
+			bc[1] = a[j+1]
+			bc[2] = a[j+2]
+			bc[3] = a[j+3]
+			bc[4] = a[j+4]
+			a[j] = bc[0] ^ (^bc[1] & bc[2])
+			a[j+1] = bc[1] ^ (^bc[2] & bc[3])
+			a[j+2] = bc[2] ^ (^bc[3] & bc[4])
+			a[j+3] = bc[3] ^ (^bc[4] & bc[0])
+			a[j+4] = bc[4] ^ (^bc[0] & bc[1])
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// digest implements hash.Hash for legacy-padded Keccak.
+type digest struct {
+	a       [25]uint64 // sponge state
+	buf     [StateSize]byte
+	n       int // buffered bytes
+	rate    int // sponge rate in bytes
+	size    int // digest size in bytes
+	squeeze bool
+}
+
+// New256 returns a hash.Hash computing legacy Keccak-256 (rate 136, 0x01 pad).
+func New256() hash.Hash { return &digest{rate: 136, size: 32} }
+
+// New512 returns a hash.Hash computing legacy Keccak-512 (rate 72, 0x01 pad).
+func New512() hash.Hash { return &digest{rate: 72, size: 64} }
+
+func (d *digest) Size() int      { return d.size }
+func (d *digest) BlockSize() int { return d.rate }
+
+func (d *digest) Reset() {
+	d.a = [25]uint64{}
+	d.n = 0
+	d.squeeze = false
+}
+
+func (d *digest) Write(p []byte) (int, error) {
+	if d.squeeze {
+		panic("keccak: Write after Sum")
+	}
+	n := len(p)
+	for len(p) > 0 {
+		c := copy(d.buf[d.n:d.rate], p)
+		d.n += c
+		p = p[c:]
+		if d.n == d.rate {
+			d.absorbBuf()
+		}
+	}
+	return n, nil
+}
+
+func (d *digest) absorbBuf() {
+	for i := 0; i < d.rate/8; i++ {
+		d.a[i] ^= binary.LittleEndian.Uint64(d.buf[i*8:])
+	}
+	Permute(&d.a)
+	d.n = 0
+}
+
+// Sum appends the digest to b. The receiver state is copied so further
+// writes remain possible, matching hash.Hash semantics.
+func (d *digest) Sum(b []byte) []byte {
+	dd := *d
+	dd.pad()
+	out := make([]byte, dd.size)
+	for i := 0; i < dd.size/8; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], dd.a[i])
+	}
+	return append(b, out...)
+}
+
+func (d *digest) pad() {
+	for i := d.n; i < d.rate; i++ {
+		d.buf[i] = 0
+	}
+	d.buf[d.n] = 0x01 // legacy Keccak domain bits
+	d.buf[d.rate-1] |= 0x80
+	d.absorbBuf()
+	d.squeeze = true
+}
+
+// Sum256 computes the legacy Keccak-256 digest of data.
+func Sum256(data []byte) [32]byte {
+	h := New256()
+	h.Write(data)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Sum512 computes the legacy Keccak-512 digest of data.
+func Sum512(data []byte) [64]byte {
+	h := New512()
+	h.Write(data)
+	var out [64]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// State1600 absorbs data with the Keccak-512 rate (72 bytes) and returns the
+// entire 200-byte sponge state. CryptoNight uses this as its initial state.
+func State1600(data []byte) [StateSize]byte {
+	var a [25]uint64
+	const rate = 72
+	var block [rate]byte
+	for len(data) >= rate {
+		for i := 0; i < rate/8; i++ {
+			a[i] ^= binary.LittleEndian.Uint64(data[i*8:])
+		}
+		Permute(&a)
+		data = data[rate:]
+	}
+	copy(block[:], data)
+	for i := len(data); i < rate; i++ {
+		block[i] = 0
+	}
+	block[len(data)] = 0x01
+	block[rate-1] |= 0x80
+	for i := 0; i < rate/8; i++ {
+		a[i] ^= binary.LittleEndian.Uint64(block[i*8:])
+	}
+	Permute(&a)
+	var out [StateSize]byte
+	for i := 0; i < 25; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], a[i])
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package linkgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/rulespace"
+)
+
+func corpus(t *testing.T, n int) []Spec {
+	t.Helper()
+	return Generate(Default(n))
+}
+
+func TestDeterministic(t *testing.T) {
+	a := corpus(t, 10_000)
+	b := corpus(t, 10_000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs", i)
+		}
+	}
+}
+
+func TestHeavyUserConcentration(t *testing.T) {
+	specs := corpus(t, 150_000)
+	counts := map[string]int{}
+	for _, s := range specs {
+		counts[s.Token]++
+	}
+	ranked := analysis.RankDescending(counts)
+	top1 := analysis.TopShare(ranked, 1)
+	top10 := analysis.TopShare(ranked, 10)
+	// Paper: "1/3 of all links are contributed by a single user only and
+	// roughly 85% of all links are created by only 10 users."
+	if top1 < 0.28 || top1 > 0.38 {
+		t.Errorf("top-1 share = %.3f, want ~1/3", top1)
+	}
+	if top10 < 0.80 || top10 > 0.90 {
+		t.Errorf("top-10 share = %.3f, want ~0.85", top10)
+	}
+	if len(ranked) < 1000 {
+		t.Errorf("only %d distinct tokens — tail missing", len(ranked))
+	}
+}
+
+func TestHashPriceDistribution(t *testing.T) {
+	specs := corpus(t, 150_000)
+	var all []float64
+	feasible := 0
+	spike512 := 0
+	infeasible := 0
+	for _, s := range specs {
+		if s.Hashes == InfeasibleHashes {
+			infeasible++
+			continue
+		}
+		feasible++
+		all = append(all, float64(s.Hashes))
+		if s.Hashes == 512 {
+			spike512++
+		}
+	}
+	// Majority resolvable within 1024 hashes (<51 s at 20 H/s).
+	cdf := analysis.CDF(all)
+	if p := analysis.PAt(cdf, 1024); p < 0.55 {
+		t.Errorf("P[hashes ≤ 1024] = %.3f, want > 0.55 (paper: majority)", p)
+	}
+	// The 512 spike from the heavy user.
+	if frac := float64(spike512) / float64(feasible); frac < 0.10 {
+		t.Errorf("512-hash spike = %.3f of links, want pronounced", frac)
+	}
+	// Some links are never resolvable.
+	if infeasible == 0 {
+		t.Error("no 10^19-hash links generated")
+	}
+}
+
+func TestUserBiasRemovalChangesCDF(t *testing.T) {
+	specs := corpus(t, 150_000)
+	var all []float64
+	seen := map[string]map[uint64]bool{}
+	var unbiased []float64
+	for _, s := range specs {
+		if s.Hashes == InfeasibleHashes {
+			continue
+		}
+		all = append(all, float64(s.Hashes))
+		m, ok := seen[s.Token]
+		if !ok {
+			m = map[uint64]bool{}
+			seen[s.Token] = m
+		}
+		if !m[s.Hashes] {
+			m[s.Hashes] = true
+			unbiased = append(unbiased, float64(s.Hashes))
+		}
+	}
+	// The biased CDF at 512 must exceed the unbiased one by a clear margin
+	// (the heavy user's habit dominates the raw counts).
+	pb := analysis.PAt(analysis.CDF(all), 512)
+	pu := analysis.PAt(analysis.CDF(unbiased), 512)
+	if pb <= pu {
+		t.Errorf("bias removal did not lower P[≤512]: biased %.3f vs unbiased %.3f", pb, pu)
+	}
+}
+
+func TestTopUserDestinations(t *testing.T) {
+	specs := corpus(t, 200_000)
+	perUser := map[string]map[string]int{}
+	for _, s := range specs {
+		if !strings.HasPrefix(s.Token, "heavy-") {
+			continue
+		}
+		if perUser[s.Token] == nil {
+			perUser[s.Token] = map[string]int{}
+		}
+		host := s.URL[len("https://"):]
+		host = host[:strings.IndexByte(host, '/')]
+		perUser[s.Token][host]++
+	}
+	if len(perUser) != 10 {
+		t.Fatalf("heavy users = %d", len(perUser))
+	}
+	// youtu.be must lead user 0's destinations (Table 4's 20% row).
+	u0 := perUser["heavy-00"]
+	if u0["youtu.be"] == 0 {
+		t.Error("heavy-00 never links to youtu.be")
+	}
+	// Every top domain appears for its user.
+	for i, d := range topDomains {
+		tok := "heavy-0" + string(rune('0'+i))
+		if i == 9 {
+			tok = "heavy-09"
+		}
+		if perUser[tok][d] == 0 {
+			t.Errorf("%s never links to %s", tok, d)
+		}
+	}
+}
+
+func TestTailDestinationsCategorise(t *testing.T) {
+	specs := corpus(t, 50_000)
+	e := rulespace.NewEngine()
+	RegisterTailDestinations(e)
+	classified, total := 0, 0
+	counts := map[string]int{}
+	for _, s := range specs {
+		if strings.HasPrefix(s.Token, "heavy-") {
+			continue
+		}
+		total++
+		if cats, ok := e.Classify(s.URL); ok {
+			classified++
+			for _, c := range cats {
+				counts[c]++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no tail links")
+	}
+	if classified == 0 {
+		t.Fatal("no tail destination classified")
+	}
+	ranked := analysis.RankDescending(counts)
+	if ranked[0].Key != rulespace.CatTech {
+		t.Errorf("top tail category = %s, want %s (Table 5)", ranked[0].Key, rulespace.CatTech)
+	}
+}
+
+func TestHashScaleReducesPrices(t *testing.T) {
+	cfg := Default(20_000)
+	cfg.HashScale = 64
+	specs := Generate(cfg)
+	for _, s := range specs {
+		if s.Hashes == InfeasibleHashes {
+			continue // intentionally unscaled: still never resolvable
+		}
+		if s.Hashes > 65536/64 && s.Hashes != 8 {
+			t.Fatalf("unscaled price %d", s.Hashes)
+		}
+		if s.Hashes < 8 {
+			t.Fatalf("price %d below floor", s.Hashes)
+		}
+	}
+}

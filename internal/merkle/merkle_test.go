@@ -1,0 +1,129 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keccak"
+)
+
+func leaves(n int) []Hash {
+	out := make([]Hash, n)
+	for i := range out {
+		out[i] = keccak.Sum256([]byte{byte(i), byte(i >> 8), 0x5a})
+	}
+	return out
+}
+
+func TestTreeHashSingleLeaf(t *testing.T) {
+	h := leaves(1)
+	if TreeHash(h) != h[0] {
+		t.Error("single-leaf root must be the leaf itself")
+	}
+}
+
+func TestTreeHashTwoLeaves(t *testing.T) {
+	h := leaves(2)
+	want := hashPair(h[0], h[1])
+	if TreeHash(h) != want {
+		t.Error("two-leaf root must be H(h0||h1)")
+	}
+}
+
+func TestTreeHashThreeLeaves(t *testing.T) {
+	// CryptoNote: cnt=2, carried=1 -> root = H(h0 || H(h1||h2)).
+	h := leaves(3)
+	want := hashPair(h[0], hashPair(h[1], h[2]))
+	if TreeHash(h) != want {
+		t.Error("three-leaf root mismatch with hand-computed CryptoNote shape")
+	}
+}
+
+func TestTreeHashFourLeaves(t *testing.T) {
+	h := leaves(4)
+	want := hashPair(hashPair(h[0], h[1]), hashPair(h[2], h[3]))
+	if TreeHash(h) != want {
+		t.Error("four-leaf root mismatch")
+	}
+}
+
+func TestTreeHashFiveLeaves(t *testing.T) {
+	// n=5: cnt=4, carried=3: first round = [h0,h1,h2,H(h3||h4)].
+	h := leaves(5)
+	want := hashPair(hashPair(h[0], h[1]), hashPair(h[2], hashPair(h[3], h[4])))
+	if TreeHash(h) != want {
+		t.Error("five-leaf root mismatch")
+	}
+}
+
+func TestTreeHashSensitivity(t *testing.T) {
+	h := leaves(7)
+	root := TreeHash(h)
+	h2 := leaves(7)
+	h2[3][0] ^= 1
+	if TreeHash(h2) == root {
+		t.Error("flipping one leaf bit did not change the root")
+	}
+	// Order matters.
+	h3 := leaves(7)
+	h3[0], h3[1] = h3[1], h3[0]
+	if TreeHash(h3) == root {
+		t.Error("swapping leaves did not change the root")
+	}
+}
+
+func TestBranchReproducesRoot(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		h := leaves(n)
+		root := TreeHash(h)
+		br := Branch(h)
+		if got := FromBranch(h[0], br); got != root {
+			t.Fatalf("n=%d: FromBranch = %x, want %x", n, got[:4], root[:4])
+		}
+	}
+}
+
+func TestBranchLength(t *testing.T) {
+	// Branch length is ceil(log2) of the reduced tree depth.
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 8: 3, 9: 3, 16: 4, 17: 4}
+	for n, want := range cases {
+		if got := len(Branch(leaves(n))); got != want {
+			t.Errorf("n=%d: branch len = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestQuickRootDeterministicAndInjectiveish(t *testing.T) {
+	f := func(seed uint16, flip uint16) bool {
+		n := int(seed%60) + 1
+		h := leaves(n)
+		r1 := TreeHash(h)
+		r2 := TreeHash(h)
+		if r1 != r2 {
+			return false
+		}
+		// Mutate one leaf: root must change.
+		h[int(flip)%n][int(flip)%32] ^= 0xff
+		return TreeHash(h) != r1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TreeHash(nil) did not panic")
+		}
+	}()
+	TreeHash(nil)
+}
+
+func BenchmarkTreeHash100(b *testing.B) {
+	h := leaves(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TreeHash(h)
+	}
+}

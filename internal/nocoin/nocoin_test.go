@@ -1,0 +1,154 @@
+package nocoin
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRuleKinds(t *testing.T) {
+	cases := []struct {
+		line string
+		kind RuleKind
+	}{
+		{"! a comment", KindComment},
+		{"", KindComment},
+		{"[Adblock Plus 2.0]", KindComment},
+		{"||coinhive.com^", KindDomain},
+		{"coinhive.min.js", KindSubstring},
+		{`/CoinHive\.Anonymous/`, KindRegex},
+		{"||cpmstar.com^$script,third-party", KindDomain},
+	}
+	for _, c := range cases {
+		r, err := ParseRule(c.line)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", c.line, err)
+			continue
+		}
+		if r.Kind != c.kind {
+			t.Errorf("ParseRule(%q).Kind = %v, want %v", c.line, r.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	if _, err := ParseRule(`/bad[regex/`); err == nil {
+		t.Error("invalid regex accepted")
+	}
+	if _, err := ParseRule(`||^`); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestDomainRuleMatching(t *testing.T) {
+	l, err := ParseList("||coinhive.com^")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := []string{
+		"https://coinhive.com/lib/coinhive.min.js",
+		"http://ws001.coinhive.com/proxy",
+		"//coinhive.com/x",
+		"https://COINHIVE.com/lib.js",
+	}
+	for _, u := range hits {
+		if _, ok := l.MatchURL(u); !ok {
+			t.Errorf("no match for %q", u)
+		}
+	}
+	misses := []string{
+		"https://notcoinhive.com/lib.js", // suffix must respect label boundary
+		"https://coinhive.com.evil.org/x",
+		"https://example.org/coinhive.html", // domain rules do not match paths
+	}
+	for _, u := range misses {
+		if r, ok := l.MatchURL(u); ok {
+			t.Errorf("unexpected match for %q (rule %q)", u, r.Raw)
+		}
+	}
+}
+
+func TestSubstringAndRegexMatching(t *testing.T) {
+	l, err := ParseList("coinhive.min.js\n/CoinHive\\.(Anonymous|User)/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.MatchURL("https://cdn.example.com/vendor/CoinHive.MIN.js"); !ok {
+		t.Error("substring match should be case-insensitive")
+	}
+	if _, ok := l.MatchInline("var m = new CoinHive.Anonymous('k');"); !ok {
+		t.Error("regex inline match failed")
+	}
+	if _, ok := l.MatchInline("console.log('nothing to see')"); ok {
+		t.Error("benign inline matched")
+	}
+}
+
+func TestMatchScriptsMixed(t *testing.T) {
+	l := Bundled()
+	matches := l.MatchScripts([]ScriptRef{
+		{Src: "https://coinhive.com/lib/coinhive.min.js"},
+		{Inline: "var miner=new CoinHive.Anonymous('SITEKEY');miner.start();"},
+		{Src: "https://code.jquery.com/jquery-3.3.1.min.js"},
+		{Inline: "function initCarousel(){}"},
+	})
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d, want 2", len(matches))
+	}
+}
+
+func TestBundledListParsesAndCoversFamilies(t *testing.T) {
+	l := Bundled()
+	if len(l.Rules) < 10 {
+		t.Fatalf("bundled list has only %d rules", len(l.Rules))
+	}
+	mustMatch := []string{
+		"https://coinhive.com/lib/coinhive.min.js",
+		"https://authedmine.com/lib/authedmine.min.js",
+		"https://crypto-loot.com/lib/miner.js",
+		"https://www.wp-monero-miner.com/js/miner.js",
+	}
+	for _, u := range mustMatch {
+		if _, ok := l.MatchURL(u); !ok {
+			t.Errorf("bundled list misses %q", u)
+		}
+	}
+}
+
+func TestBundledListHasTheCpmstarFalsePositive(t *testing.T) {
+	// The paper: "we find false positives, e.g., cpmstar is a gaming
+	// ad-network that we could not verify to contain mining code."
+	l := Bundled()
+	r, ok := l.MatchURL("https://cdn.cpmstar.com/cached/js/ad.js")
+	if !ok {
+		t.Fatal("cpmstar rule missing — the false-positive reproduction depends on it")
+	}
+	if !strings.Contains(r.Raw, "cpmstar") {
+		t.Errorf("matched rule %q", r.Raw)
+	}
+}
+
+func TestBundledDoesNotMatchPlainSites(t *testing.T) {
+	l := Bundled()
+	benign := []ScriptRef{
+		{Src: "https://www.googletagmanager.com/gtag.js"},
+		{Src: "/assets/app.bundle.js"},
+		{Inline: "window.dataLayer=window.dataLayer||[];"},
+	}
+	if m := l.MatchScripts(benign); len(m) != 0 {
+		t.Errorf("benign page matched: %+v", m)
+	}
+}
+
+func BenchmarkMatchScriptsBundled(b *testing.B) {
+	l := Bundled()
+	scripts := []ScriptRef{
+		{Src: "https://code.jquery.com/jquery.min.js"},
+		{Src: "/assets/main.js"},
+		{Inline: "var x = 42; render(x);"},
+		{Src: "https://coinhive.com/lib/coinhive.min.js"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.MatchScripts(scripts)
+	}
+}

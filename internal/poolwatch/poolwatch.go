@@ -1,0 +1,231 @@
+// Package poolwatch implements the paper's §4.2 methodology for associating
+// blocks in a privacy-preserving blockchain with a mining pool:
+//
+//  1. connect to every pool endpoint and keep requesting fresh PoW inputs,
+//  2. revert the pool's blob obfuscation and parse each input,
+//  3. cluster the inputs by their previous-block pointer,
+//  4. for every block later mined on top of that pointer, compare its
+//     transaction Merkle root against the clustered inputs' roots — a match
+//     proves the block was assembled by the observed pool, because the
+//     root commits to the pool's own coinbase transaction ("we could never
+//     by accident see a Merkle tree root of another miner").
+//
+// The result is a lower bound on the pool's mined blocks, from which hash
+// rate share and revenue follow.
+package poolwatch
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/blockchain"
+	"repro/internal/simclock"
+	"repro/internal/stratum"
+)
+
+// JobSource yields PoW inputs for an endpoint/slot, with ok=false when the
+// service is unreachable.
+type JobSource interface {
+	PollJob(endpoint, slot int) (stratum.Job, bool)
+}
+
+// AttributedBlock is a chain block proven to originate from the pool.
+type AttributedBlock struct {
+	Height    uint64
+	Timestamp uint64
+	Reward    uint64
+}
+
+// Config parameterises a Watcher.
+type Config struct {
+	Source JobSource
+	Chain  *blockchain.Chain
+	// Endpoints is how many endpoints to poll (paper: all 32).
+	Endpoints int
+	// SlotsPerEndpoint is how many rotating inputs each endpoint reveals
+	// per block interval (paper: "we never obtain more than 8").
+	SlotsPerEndpoint int
+	// MaxPendingClusters bounds memory for prev-pointers awaiting a
+	// successor block.
+	MaxPendingClusters int
+}
+
+// Watcher accumulates PoW inputs and attributes mined blocks.
+type Watcher struct {
+	cfg Config
+
+	mu         sync.Mutex
+	clusters   map[[32]byte]*cluster // keyed by prev-block pointer
+	order      [][32]byte            // cluster insertion order, for pruning
+	attributed []AttributedBlock
+	polls      int
+	pollFails  int
+	maxPerPrev int                    // most distinct inputs observed for one prev pointer
+	parsed     map[string]parsedInput // memo: wire blob -> (prev, root)
+}
+
+type parsedInput struct {
+	prev [32]byte
+	root [32]byte
+	ok   bool
+}
+
+type cluster struct {
+	roots map[[32]byte]bool
+}
+
+// New builds a Watcher.
+func New(cfg Config) *Watcher {
+	if cfg.Endpoints == 0 {
+		cfg.Endpoints = 32
+	}
+	if cfg.SlotsPerEndpoint == 0 {
+		cfg.SlotsPerEndpoint = 8
+	}
+	if cfg.MaxPendingClusters == 0 {
+		cfg.MaxPendingClusters = 64
+	}
+	return &Watcher{cfg: cfg, clusters: map[[32]byte]*cluster{}, parsed: map[string]parsedInput{}}
+}
+
+// PollOnce requests a single PoW input (the 500 ms unit of the paper's
+// loop) and records it.
+func (w *Watcher) PollOnce(endpoint, slot int) {
+	job, ok := w.cfg.Source.PollJob(endpoint, slot)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.polls++
+	if !ok {
+		w.pollFails++
+		return
+	}
+	w.recordLocked(job)
+}
+
+// PollAllEndpoints polls every endpoint across every slot — the coverage
+// the paper reaches by polling each endpoint for a whole block interval.
+func (w *Watcher) PollAllEndpoints() {
+	for ep := 0; ep < w.cfg.Endpoints; ep++ {
+		for s := 0; s < w.cfg.SlotsPerEndpoint; s++ {
+			w.PollOnce(ep, s)
+		}
+	}
+}
+
+// recordLocked parses an obfuscated job and clusters it by prev pointer.
+// Identical wire blobs (the pool hands the same input to every poll within
+// a block interval) are memoised so sustained polling stays cheap.
+func (w *Watcher) recordLocked(job stratum.Job) {
+	pi, hit := w.parsed[job.Blob]
+	if !hit {
+		if len(w.parsed) > 4096 {
+			w.parsed = map[string]parsedInput{} // new tips obsolete old blobs
+		}
+		blob, err := stratum.DecodeBlob(job.Blob)
+		if err != nil {
+			w.parsed[job.Blob] = parsedInput{}
+			return
+		}
+		stratum.ObfuscateBlob(blob) // revert, as the official miner does
+		hdr, root, _, err := blockchain.ParseHashingBlob(blob)
+		if err != nil {
+			w.parsed[job.Blob] = parsedInput{}
+			return
+		}
+		pi = parsedInput{prev: hdr.PrevHash, root: root, ok: true}
+		w.parsed[job.Blob] = pi
+	}
+	if !pi.ok {
+		return
+	}
+	c, ok := w.clusters[pi.prev]
+	if !ok {
+		c = &cluster{roots: map[[32]byte]bool{}}
+		w.clusters[pi.prev] = c
+		w.order = append(w.order, pi.prev)
+		w.pruneLocked()
+	}
+	c.roots[pi.root] = true
+	if len(c.roots) > w.maxPerPrev {
+		w.maxPerPrev = len(c.roots)
+	}
+}
+
+func (w *Watcher) pruneLocked() {
+	for len(w.order) > w.cfg.MaxPendingClusters {
+		old := w.order[0]
+		w.order = w.order[1:]
+		delete(w.clusters, old)
+	}
+}
+
+// Sweep attributes blocks: for every cluster whose prev pointer now has a
+// successor on chain, the successor's Merkle root is checked against the
+// recorded inputs. Matched or not, resolved clusters are dropped (their
+// question has been answered).
+func (w *Watcher) Sweep() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	remaining := w.order[:0]
+	for _, prev := range w.order {
+		succ, ok := w.cfg.Chain.SuccessorOf(prev)
+		if !ok {
+			remaining = append(remaining, prev)
+			continue
+		}
+		c := w.clusters[prev]
+		if c.roots[succ.MerkleRoot()] {
+			_, height, _ := w.cfg.Chain.BlockByID(succ.ID())
+			w.attributed = append(w.attributed, AttributedBlock{
+				Height:    height,
+				Timestamp: succ.Timestamp,
+				Reward:    succ.Coinbase.Amount,
+			})
+		}
+		delete(w.clusters, prev)
+	}
+	w.order = append([][32]byte(nil), remaining...)
+}
+
+// Run schedules the watcher on a simulation clock: a full endpoint sweep
+// whenever the tip changes (checked every checkInterval) plus a Sweep pass.
+// It returns a cancel function.
+func (w *Watcher) Run(sim *simclock.Sim, checkInterval time.Duration) (cancel func()) {
+	var lastTip [32]byte
+	return sim.Every(checkInterval, func() {
+		tip := w.cfg.Chain.TipID()
+		if tip != lastTip {
+			lastTip = tip
+			w.PollAllEndpoints()
+			w.Sweep()
+		}
+	})
+}
+
+// Attributed returns the blocks proven to come from the pool, in
+// attribution order.
+func (w *Watcher) Attributed() []AttributedBlock {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]AttributedBlock(nil), w.attributed...)
+}
+
+// Stats summarises the watcher's observations.
+type Stats struct {
+	Polls            int
+	PollFailures     int
+	MaxInputsPerPrev int // the paper's "at most 128 different PoW inputs"
+	Attributed       int
+}
+
+// StatsSnapshot returns current counters.
+func (w *Watcher) StatsSnapshot() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Polls:            w.polls,
+		PollFailures:     w.pollFails,
+		MaxInputsPerPrev: w.maxPerPrev,
+		Attributed:       len(w.attributed),
+	}
+}

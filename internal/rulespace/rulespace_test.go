@@ -1,0 +1,95 @@
+package rulespace
+
+import "testing"
+
+func TestRegisterAndClassify(t *testing.T) {
+	e := NewEngine()
+	e.Register("example.org", "org", []string{CatReligion, CatEducation})
+	cats, ok := e.Classify("example.org")
+	if !ok || len(cats) != 2 || cats[0] != CatReligion {
+		t.Errorf("Classify = (%v, %v)", cats, ok)
+	}
+	if _, ok := e.Classify("unknown.org"); ok {
+		t.Error("unknown domain classified")
+	}
+}
+
+func TestClassifyAcceptsURLs(t *testing.T) {
+	e := NewEngine()
+	e.Register("youtu.be", "external", []string{CatEntMusic})
+	for _, u := range []string{
+		"https://youtu.be/dQw4w9WgXcQ",
+		"http://www.youtu.be/abc?x=1",
+		"//youtu.be/xyz#t=3",
+		"YOUTU.BE/q",
+	} {
+		if _, ok := e.Classify(u); !ok {
+			t.Errorf("Classify(%q) failed", u)
+		}
+	}
+}
+
+func TestCoverageDropoutIsDeterministicAndProportional(t *testing.T) {
+	e := NewEngine()
+	e.SetCoverage("org", 0.5)
+	n := 10_000
+	for i := 0; i < n; i++ {
+		e.Register(domain(i), "org", []string{CatBusiness})
+	}
+	covered := 0
+	for i := 0; i < n; i++ {
+		if _, ok := e.Classify(domain(i)); ok {
+			covered++
+		}
+	}
+	frac := float64(covered) / float64(n)
+	if frac < 0.46 || frac > 0.54 {
+		t.Errorf("coverage = %.3f, want ~0.50", frac)
+	}
+	// Determinism: the same domain must always answer the same way.
+	for i := 0; i < 100; i++ {
+		_, a := e.Classify(domain(i))
+		_, b := e.Classify(domain(i))
+		if a != b {
+			t.Fatalf("coverage flapped for %s", domain(i))
+		}
+	}
+}
+
+func domain(i int) string {
+	const letters = "abcdefghij"
+	b := make([]byte, 0, 16)
+	for v := i; ; v /= 10 {
+		b = append(b, letters[v%10])
+		if v < 10 {
+			break
+		}
+	}
+	return string(b) + ".org"
+}
+
+func TestCoverageIsPerPopulation(t *testing.T) {
+	e := NewEngine()
+	e.SetCoverage("org", 0.0)
+	e.Register("a.org", "org", []string{CatBusiness})
+	e.Register("b.com", "alexa", []string{CatBusiness})
+	if _, ok := e.Classify("a.org"); ok {
+		t.Error("zero-coverage population classified")
+	}
+	if _, ok := e.Classify("b.com"); !ok {
+		t.Error("full-coverage population not classified")
+	}
+}
+
+func TestWellKnownDestinations(t *testing.T) {
+	e := NewEngine()
+	WellKnownDestinations(e)
+	cats, ok := e.Classify("https://youtu.be/abc")
+	if !ok || cats[0] != CatEntMusic {
+		t.Errorf("youtu.be = (%v, %v)", cats, ok)
+	}
+	cats, ok = e.Classify("zippyshare.com")
+	if !ok || cats[0] != CatFilesharing {
+		t.Errorf("zippyshare = (%v, %v)", cats, ok)
+	}
+}

@@ -1,0 +1,171 @@
+// Package simclock provides virtual time for the measurement experiments.
+// The paper's longest measurement spans three months of wall time
+// (Table 6); on the simulated clock those months elapse in milliseconds
+// while preserving event ordering and inter-arrival statistics.
+//
+// Two abstractions are provided:
+//
+//   - Clock: the minimal read-only interface (Now) production code uses, with
+//     Real() returning a wall-clock implementation.
+//   - Sim: a deterministic discrete-event scheduler. Events are executed in
+//     timestamp order (FIFO among equal timestamps); handlers may schedule
+//     further events, including at the current instant.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Real returns a Clock backed by the system clock.
+func Real() Clock { return realClock{} }
+
+type event struct {
+	at  time.Time
+	seq uint64 // tie-breaker: preserves scheduling order at equal instants
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation clock. The zero value is not usable;
+// construct with New.
+type Sim struct {
+	mu   sync.Mutex
+	now  time.Time
+	seq  uint64
+	evts eventHeap
+}
+
+// New returns a Sim starting at the given instant.
+func New(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Schedule runs fn at the given absolute virtual time. Times in the past are
+// clamped to the current instant.
+func (s *Sim) Schedule(at time.Time, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.evts, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// ScheduleAfter runs fn d after the current virtual instant.
+func (s *Sim) ScheduleAfter(d time.Duration, fn func()) {
+	s.mu.Lock()
+	at := s.now.Add(d)
+	s.seq++
+	heap.Push(&s.evts, &event{at: at, seq: s.seq, fn: fn})
+	s.mu.Unlock()
+}
+
+// Every schedules fn at the fixed interval d starting d from now, until
+// the returned cancel function is called.
+func (s *Sim) Every(d time.Duration, fn func()) (cancel func()) {
+	stopped := false
+	var mu sync.Mutex
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		dead := stopped
+		mu.Unlock()
+		if dead {
+			return
+		}
+		fn()
+		s.ScheduleAfter(d, tick)
+	}
+	s.ScheduleAfter(d, tick)
+	return func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+}
+
+// pop removes the earliest event not after limit, or returns nil.
+func (s *Sim) pop(limit time.Time) *event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.evts) == 0 {
+		return nil
+	}
+	if s.evts[0].at.After(limit) {
+		return nil
+	}
+	e := heap.Pop(&s.evts).(*event)
+	s.now = e.at
+	return e
+}
+
+// RunUntil processes events in order until the queue is exhausted or the
+// next event lies beyond limit, then advances the clock to limit. It returns
+// the number of events executed.
+func (s *Sim) RunUntil(limit time.Time) int {
+	n := 0
+	for {
+		e := s.pop(limit)
+		if e == nil {
+			break
+		}
+		e.fn()
+		n++
+	}
+	s.mu.Lock()
+	if s.now.Before(limit) {
+		s.now = limit
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// RunFor advances the simulation by d. See RunUntil.
+func (s *Sim) RunFor(d time.Duration) int {
+	return s.RunUntil(s.Now().Add(d))
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.evts)
+}

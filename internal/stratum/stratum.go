@@ -1,0 +1,174 @@
+// Package stratum defines the Coinhive-style pool protocol spoken between
+// web miners and pool endpoints over WebSockets: JSON envelopes for
+// auth/job/submit plus the job-blob obfuscation the paper discovered
+// (§4.1: "Coinhive alters the block header contained in the PoW inputs
+// before sending them to the users which the web miner reverts deep within
+// its WebAssembly ... A simple XOR with a fixed value at a fixed offset").
+package stratum
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Message types exchanged over the socket.
+const (
+	TypeAuth         = "auth"
+	TypeAuthed       = "authed"
+	TypeJob          = "job"
+	TypeSubmit       = "submit"
+	TypeHashAccepted = "hash_accepted"
+	TypeBanned       = "banned"
+	TypeError        = "error"
+	TypeLinkResolved = "link_resolved"
+)
+
+// LinkResolved is pushed once a short link's hash goal has been met; it
+// reveals the destination the service was withholding.
+type LinkResolved struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Envelope is the outer JSON frame: a type tag plus type-specific params.
+type Envelope struct {
+	Type   string          `json:"type"`
+	Params json.RawMessage `json:"params"`
+}
+
+// Auth is sent by the miner immediately after connecting.
+type Auth struct {
+	SiteKey string `json:"site_key"`
+	Type    string `json:"type"` // "anonymous" | "token" | "user"
+	User    string `json:"user,omitempty"`
+	Goal    int    `json:"goal,omitempty"` // shortlink hash goal, 0 otherwise
+}
+
+// Authed acknowledges authentication.
+type Authed struct {
+	Token  string `json:"token"`
+	Hashes int64  `json:"hashes"` // hashes already credited (shortlink resume)
+}
+
+// Job carries one PoW input. Blob is the hex-encoded, *obfuscated* hashing
+// blob; Target is the compact share target (hex, little-endian uint32).
+type Job struct {
+	JobID  string `json:"job_id"`
+	Blob   string `json:"blob"`
+	Target string `json:"target"`
+}
+
+// Submit reports a found share.
+type Submit struct {
+	Version int    `json:"version"`
+	JobID   string `json:"job_id"`
+	Nonce   string `json:"nonce"`  // 8 hex chars, little-endian
+	Result  string `json:"result"` // hex CryptoNight hash
+}
+
+// HashAccepted credits accepted work.
+type HashAccepted struct {
+	Hashes int64 `json:"hashes"`
+}
+
+// Error carries a protocol error string.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Marshal wraps params into an Envelope and encodes it.
+func Marshal(msgType string, params interface{}) ([]byte, error) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(Envelope{Type: msgType, Params: raw})
+}
+
+// Unmarshal decodes an envelope.
+func Unmarshal(data []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Envelope{}, fmt.Errorf("stratum: bad envelope: %w", err)
+	}
+	return e, nil
+}
+
+// Decode decodes an envelope's params into out.
+func (e Envelope) Decode(out interface{}) error {
+	if err := json.Unmarshal(e.Params, out); err != nil {
+		return fmt.Errorf("stratum: bad %s params: %w", e.Type, err)
+	}
+	return nil
+}
+
+// Obfuscation constants: an 8-byte key XORed at a fixed offset inside the
+// blob (within the prev-hash field, so it garbles the chain pointer for
+// anyone using the blob outside the official miner).
+const ObfuscationOffset = 9
+
+var obfuscationKey = [8]byte{0x63, 0x6E, 0x68, 0x76, 0x2E, 0x63, 0x6F, 0x21}
+
+// ObfuscateBlob XORs the fixed key at the fixed offset, in place. The
+// transform is an involution: applying it twice restores the original, so
+// the web miner (and our non-web resolver) calls the same function to
+// revert it.
+func ObfuscateBlob(blob []byte) {
+	if len(blob) < ObfuscationOffset+len(obfuscationKey) {
+		return // blob too short to carry the obfuscated window
+	}
+	for i, k := range obfuscationKey {
+		blob[ObfuscationOffset+i] ^= k
+	}
+}
+
+// EncodeBlob hex-encodes a blob for the wire.
+func EncodeBlob(blob []byte) string { return hex.EncodeToString(blob) }
+
+// DecodeBlob decodes a wire blob.
+func DecodeBlob(s string) ([]byte, error) {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("stratum: bad blob hex: %w", err)
+	}
+	return b, nil
+}
+
+// EncodeNonce formats a nonce for Submit.
+func EncodeNonce(n uint32) string {
+	var b [4]byte
+	b[0] = byte(n)
+	b[1] = byte(n >> 8)
+	b[2] = byte(n >> 16)
+	b[3] = byte(n >> 24)
+	return hex.EncodeToString(b[:])
+}
+
+// DecodeNonce parses a Submit nonce.
+func DecodeNonce(s string) (uint32, error) {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 4 {
+		return 0, fmt.Errorf("stratum: bad nonce %q", s)
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// EncodeTarget formats a compact target.
+func EncodeTarget(t uint32) string {
+	var b [4]byte
+	b[0] = byte(t)
+	b[1] = byte(t >> 8)
+	b[2] = byte(t >> 16)
+	b[3] = byte(t >> 24)
+	return hex.EncodeToString(b[:])
+}
+
+// DecodeTarget parses a compact target.
+func DecodeTarget(s string) (uint32, error) {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 4 {
+		return 0, fmt.Errorf("stratum: bad target %q", s)
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}

@@ -1,0 +1,93 @@
+// Package varint implements the LEB128-style variable-length integer
+// encoding used by the Monero wire format for block headers and
+// transactions. Unlike encoding/binary, decoding enforces canonical
+// (minimal-length) encodings, which consensus code requires: two different
+// byte strings must never decode to the same header.
+package varint
+
+import (
+	"errors"
+	"io"
+)
+
+// MaxLen is the maximum number of bytes a uint64 varint can occupy.
+const MaxLen = 10
+
+var (
+	// ErrOverflow is returned when a varint exceeds 64 bits.
+	ErrOverflow = errors.New("varint: value overflows uint64")
+	// ErrNonCanonical is returned for a valid but non-minimal encoding.
+	ErrNonCanonical = errors.New("varint: non-canonical encoding")
+	// ErrTruncated is returned when input ends mid-varint.
+	ErrTruncated = errors.New("varint: truncated input")
+)
+
+// Append appends the canonical encoding of v to dst and returns the
+// extended slice.
+func Append(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Len returns the encoded length of v in bytes.
+func Len(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Decode reads a canonical varint from the front of buf, returning the value
+// and the number of bytes consumed.
+func Decode(buf []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(buf); i++ {
+		b := buf[i]
+		if i == 9 && b > 1 {
+			return 0, 0, ErrOverflow
+		}
+		v |= uint64(b&0x7f) << (7 * uint(i))
+		if b&0x80 == 0 {
+			if b == 0 && i > 0 {
+				return 0, 0, ErrNonCanonical
+			}
+			return v, i + 1, nil
+		}
+		if i == MaxLen-1 {
+			return 0, 0, ErrOverflow
+		}
+	}
+	return 0, 0, ErrTruncated
+}
+
+// ReadFrom reads a canonical varint from r one byte at a time.
+func ReadFrom(r io.ByteReader) (uint64, error) {
+	var v uint64
+	for i := 0; ; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return 0, ErrTruncated
+			}
+			return 0, err
+		}
+		if i == 9 && b > 1 {
+			return 0, ErrOverflow
+		}
+		v |= uint64(b&0x7f) << (7 * uint(i))
+		if b&0x80 == 0 {
+			if b == 0 && i > 0 {
+				return 0, ErrNonCanonical
+			}
+			return v, nil
+		}
+		if i == MaxLen-1 {
+			return 0, ErrOverflow
+		}
+	}
+}

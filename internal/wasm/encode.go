@@ -1,0 +1,173 @@
+package wasm
+
+// Encode serialises m into the WebAssembly binary format.
+func Encode(m *Module) []byte {
+	out := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00} // \0asm v1
+
+	section := func(id byte, payload []byte) {
+		if len(payload) == 0 {
+			return
+		}
+		out = append(out, id)
+		out = appendU32(out, uint32(len(payload)))
+		out = append(out, payload...)
+	}
+
+	// Type section.
+	if len(m.Types) > 0 {
+		p := appendU32(nil, uint32(len(m.Types)))
+		for _, t := range m.Types {
+			p = append(p, 0x60)
+			p = appendU32(p, uint32(len(t.Params)))
+			for _, v := range t.Params {
+				p = append(p, byte(v))
+			}
+			p = appendU32(p, uint32(len(t.Results)))
+			for _, v := range t.Results {
+				p = append(p, byte(v))
+			}
+		}
+		section(secType, p)
+	}
+
+	// Import section.
+	if len(m.Imports) > 0 {
+		p := appendU32(nil, uint32(len(m.Imports)))
+		for _, im := range m.Imports {
+			p = appendName(p, im.Module)
+			p = appendName(p, im.Name)
+			p = append(p, im.Kind)
+			switch im.Kind {
+			case ExtFunc:
+				p = appendU32(p, im.Type)
+			case ExtMemory:
+				p = appendLimits(p, im.Mem)
+			default:
+				// Tables/globals are not imported by any module we model.
+				p = appendU32(p, 0)
+			}
+		}
+		section(secImport, p)
+	}
+
+	// Function section.
+	if len(m.Functions) > 0 {
+		p := appendU32(nil, uint32(len(m.Functions)))
+		for _, ti := range m.Functions {
+			p = appendU32(p, ti)
+		}
+		section(secFunction, p)
+	}
+
+	// Memory section.
+	if len(m.Memories) > 0 {
+		p := appendU32(nil, uint32(len(m.Memories)))
+		for _, mem := range m.Memories {
+			p = appendLimits(p, mem)
+		}
+		section(secMemory, p)
+	}
+
+	// Global section.
+	if len(m.Globals) > 0 {
+		p := appendU32(nil, uint32(len(m.Globals)))
+		for _, g := range m.Globals {
+			p = append(p, byte(g.Type))
+			if g.Mutable {
+				p = append(p, 1)
+			} else {
+				p = append(p, 0)
+			}
+			p = append(p, g.Init...)
+		}
+		section(secGlobal, p)
+	}
+
+	// Export section.
+	if len(m.Exports) > 0 {
+		p := appendU32(nil, uint32(len(m.Exports)))
+		for _, e := range m.Exports {
+			p = appendName(p, e.Name)
+			p = append(p, e.Kind)
+			p = appendU32(p, e.Index)
+		}
+		section(secExport, p)
+	}
+
+	// Code section.
+	if len(m.Codes) > 0 {
+		p := appendU32(nil, uint32(len(m.Codes)))
+		for _, c := range m.Codes {
+			var body []byte
+			body = appendU32(body, uint32(len(c.Locals)))
+			for _, l := range c.Locals {
+				body = appendU32(body, l.Count)
+				body = append(body, byte(l.Type))
+			}
+			body = append(body, c.Body...)
+			p = appendU32(p, uint32(len(body)))
+			p = append(p, body...)
+		}
+		section(secCode, p)
+	}
+
+	// Data section.
+	if len(m.Data) > 0 {
+		p := appendU32(nil, uint32(len(m.Data)))
+		for _, d := range m.Data {
+			p = appendU32(p, d.MemIndex)
+			p = append(p, d.Offset...)
+			p = appendU32(p, uint32(len(d.Init)))
+			p = append(p, d.Init...)
+		}
+		section(secData, p)
+	}
+
+	// Name custom section (function names subsection only).
+	if len(m.Names) > 0 {
+		var names []byte
+		names = appendU32(names, uint32(len(m.Names)))
+		// Deterministic order: ascending function index.
+		idxs := make([]uint32, 0, len(m.Names))
+		for i := range m.Names {
+			idxs = append(idxs, i)
+		}
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				if idxs[j] < idxs[i] {
+					idxs[i], idxs[j] = idxs[j], idxs[i]
+				}
+			}
+		}
+		names = names[:0]
+		names = appendU32(names, uint32(len(idxs)))
+		for _, i := range idxs {
+			names = appendU32(names, i)
+			names = appendName(names, m.Names[i])
+		}
+		var sub []byte
+		sub = append(sub, 1) // subsection id 1: function names
+		sub = appendU32(sub, uint32(len(names)))
+		sub = append(sub, names...)
+		p := appendName(nil, "name")
+		p = append(p, sub...)
+		section(secCustom, p)
+	}
+
+	return out
+}
+
+func appendName(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func appendLimits(dst []byte, l Limits) []byte {
+	if l.HasMax {
+		dst = append(dst, 1)
+		dst = appendU32(dst, l.Min)
+		return appendU32(dst, l.Max)
+	}
+	dst = append(dst, 0)
+	return appendU32(dst, l.Min)
+}

@@ -1,0 +1,147 @@
+package wasm
+
+// ValType is a WebAssembly value type.
+type ValType byte
+
+// MVP value types.
+const (
+	I32 ValType = 0x7F
+	I64 ValType = 0x7E
+	F32 ValType = 0x7D
+	F64 ValType = 0x7C
+)
+
+func (v ValType) String() string {
+	switch v {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	default:
+		return "valtype(?)"
+	}
+}
+
+// Section IDs of the MVP binary format.
+const (
+	secCustom   = 0
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secTable    = 4
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secStart    = 8
+	secElement  = 9
+	secCode     = 10
+	secData     = 11
+)
+
+// External kinds used by imports and exports.
+const (
+	ExtFunc   = 0
+	ExtTable  = 1
+	ExtMemory = 2
+	ExtGlobal = 3
+)
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Limits describe a memory's page bounds (64 KiB pages).
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// Import declares an imported entity.
+type Import struct {
+	Module string
+	Name   string
+	Kind   byte
+	Type   uint32 // ExtFunc: type index
+	Mem    Limits // ExtMemory
+}
+
+// Export makes an entity visible to the host.
+type Export struct {
+	Name  string
+	Kind  byte
+	Index uint32
+}
+
+// Global is a module global variable.
+type Global struct {
+	Type    ValType
+	Mutable bool
+	Init    []byte // constant-expression bytes including the end opcode
+}
+
+// Code is a function body: local declarations plus raw instruction bytes
+// (terminated by the 0x0B end opcode).
+type Code struct {
+	Locals []LocalDecl
+	Body   []byte
+}
+
+// LocalDecl declares Count locals of the same type.
+type LocalDecl struct {
+	Count uint32
+	Type  ValType
+}
+
+// DataSegment initialises linear memory.
+type DataSegment struct {
+	MemIndex uint32
+	Offset   []byte // constant-expression bytes including end
+	Init     []byte
+}
+
+// Module is a decoded (or under-construction) WebAssembly module.
+type Module struct {
+	Types     []FuncType
+	Imports   []Import
+	Functions []uint32 // type index per module-defined function
+	Memories  []Limits
+	Globals   []Global
+	Exports   []Export
+	Codes     []Code
+	Data      []DataSegment
+	// Names holds function names from the "name" custom section, keyed by
+	// function index (imports included in the index space).
+	Names map[uint32]string
+}
+
+// NumImportedFuncs counts imported functions, which precede module-defined
+// functions in the index space.
+func (m *Module) NumImportedFuncs() int {
+	n := 0
+	for _, im := range m.Imports {
+		if im.Kind == ExtFunc {
+			n++
+		}
+	}
+	return n
+}
+
+// FuncName returns the name-section name of function index i, or "".
+func (m *Module) FuncName(i uint32) string { return m.Names[i] }
+
+// MemoryPages returns the minimum page count of the first memory (0 if the
+// module declares none). Miners are recognisable by large scratchpad
+// memories: CryptoNight needs 2 MiB = 32 pages before heap overhead.
+func (m *Module) MemoryPages() uint32 {
+	if len(m.Memories) == 0 {
+		return 0
+	}
+	return m.Memories[0].Min
+}

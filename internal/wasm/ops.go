@@ -1,0 +1,249 @@
+package wasm
+
+import "fmt"
+
+// Opcode is a single-byte MVP instruction opcode.
+type Opcode byte
+
+// Opcodes referenced by name elsewhere in the codebase.
+const (
+	OpUnreachable  Opcode = 0x00
+	OpNop          Opcode = 0x01
+	OpBlock        Opcode = 0x02
+	OpLoop         Opcode = 0x03
+	OpIf           Opcode = 0x04
+	OpElse         Opcode = 0x05
+	OpEnd          Opcode = 0x0B
+	OpBr           Opcode = 0x0C
+	OpBrIf         Opcode = 0x0D
+	OpBrTable      Opcode = 0x0E
+	OpReturn       Opcode = 0x0F
+	OpCall         Opcode = 0x10
+	OpCallIndirect Opcode = 0x11
+	OpDrop         Opcode = 0x1A
+	OpSelect       Opcode = 0x1B
+	OpLocalGet     Opcode = 0x20
+	OpLocalSet     Opcode = 0x21
+	OpLocalTee     Opcode = 0x22
+	OpGlobalGet    Opcode = 0x23
+	OpGlobalSet    Opcode = 0x24
+	OpI32Load      Opcode = 0x28
+	OpI64Load      Opcode = 0x29
+	OpI32Store     Opcode = 0x36
+	OpI64Store     Opcode = 0x37
+	OpMemorySize   Opcode = 0x3F
+	OpMemoryGrow   Opcode = 0x40
+	OpI32Const     Opcode = 0x41
+	OpI64Const     Opcode = 0x42
+	OpF32Const     Opcode = 0x43
+	OpF64Const     Opcode = 0x44
+	OpI32Add       Opcode = 0x6A
+	OpI32Sub       Opcode = 0x6B
+	OpI32Mul       Opcode = 0x6C
+	OpI32And       Opcode = 0x71
+	OpI32Or        Opcode = 0x72
+	OpI32Xor       Opcode = 0x73
+	OpI32Shl       Opcode = 0x74
+	OpI32ShrS      Opcode = 0x75
+	OpI32ShrU      Opcode = 0x76
+	OpI32Rotl      Opcode = 0x77
+	OpI32Rotr      Opcode = 0x78
+	OpI64Add       Opcode = 0x7C
+	OpI64Sub       Opcode = 0x7D
+	OpI64Mul       Opcode = 0x7E
+	OpI64And       Opcode = 0x83
+	OpI64Or        Opcode = 0x84
+	OpI64Xor       Opcode = 0x85
+	OpI64Shl       Opcode = 0x86
+	OpI64ShrS      Opcode = 0x87
+	OpI64ShrU      Opcode = 0x88
+	OpI64Rotl      Opcode = 0x89
+	OpI64Rotr      Opcode = 0x8A
+)
+
+// immKind describes an opcode's immediate encoding.
+type immKind byte
+
+const (
+	immNone immKind = iota
+	immBlockType
+	immU32
+	immU32Byte // call_indirect: type index + reserved byte
+	immByte    // memory.size/grow: reserved byte
+	immMemarg
+	immS32
+	immS64
+	immF32
+	immF64
+	immBrTable
+)
+
+// immOf returns the immediate kind of op, or an error for gaps in the MVP
+// opcode space.
+func immOf(op Opcode) (immKind, error) {
+	switch {
+	case op == OpBlock || op == OpLoop || op == OpIf:
+		return immBlockType, nil
+	case op == OpBr || op == OpBrIf || op == OpCall ||
+		(op >= OpLocalGet && op <= OpGlobalSet):
+		return immU32, nil
+	case op == OpCallIndirect:
+		return immU32Byte, nil
+	case op == OpBrTable:
+		return immBrTable, nil
+	case op >= 0x28 && op <= 0x3E:
+		return immMemarg, nil
+	case op == OpMemorySize || op == OpMemoryGrow:
+		return immByte, nil
+	case op == OpI32Const:
+		return immS32, nil
+	case op == OpI64Const:
+		return immS64, nil
+	case op == OpF32Const:
+		return immF32, nil
+	case op == OpF64Const:
+		return immF64, nil
+	case op <= 0x11 || op == OpDrop || op == OpSelect || (op >= 0x45 && op <= 0xBF):
+		return immNone, nil
+	default:
+		return immNone, fmt.Errorf("wasm: unknown opcode %#02x", byte(op))
+	}
+}
+
+// WalkBody calls fn for every instruction in a function body (the raw bytes
+// after local declarations, including the trailing end). fn receives the
+// opcode and the instruction's byte offset.
+func WalkBody(body []byte, fn func(op Opcode, offset int) error) error {
+	r := &reader{b: body}
+	for r.off < len(r.b) {
+		at := r.off
+		b, err := r.byte()
+		if err != nil {
+			return err
+		}
+		op := Opcode(b)
+		kind, err := immOf(op)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case immNone:
+		case immBlockType, immByte:
+			if _, err := r.byte(); err != nil {
+				return err
+			}
+		case immU32:
+			if _, err := r.u32(); err != nil {
+				return err
+			}
+		case immU32Byte:
+			if _, err := r.u32(); err != nil {
+				return err
+			}
+			if _, err := r.byte(); err != nil {
+				return err
+			}
+		case immMemarg:
+			if _, err := r.u32(); err != nil {
+				return err
+			}
+			if _, err := r.u32(); err != nil {
+				return err
+			}
+		case immS32, immS64:
+			if _, n, err := readS64(r.b[r.off:]); err != nil {
+				return err
+			} else {
+				r.off += n
+			}
+		case immF32:
+			if _, err := r.take(4); err != nil {
+				return err
+			}
+		case immF64:
+			if _, err := r.take(8); err != nil {
+				return err
+			}
+		case immBrTable:
+			n, err := r.u32()
+			if err != nil {
+				return err
+			}
+			for i := uint32(0); i <= n; i++ { // targets plus default
+				if _, err := r.u32(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := fn(op, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Features summarises the instruction mix of a module — the paper's
+// "number of XOR, shift or load operations which we found to be quite
+// distinctive" (§3.2).
+type Features struct {
+	Ops    int // total instructions
+	Xor    int
+	Shift  int
+	Rotate int
+	Load   int
+	Store  int
+	Mul    int
+	Call   int
+	Funcs  int // module-defined functions
+	Pages  uint32
+}
+
+// ExtractFeatures walks all function bodies of m.
+func ExtractFeatures(m *Module) (Features, error) {
+	f := Features{Funcs: len(m.Codes), Pages: m.MemoryPages()}
+	for _, c := range m.Codes {
+		err := WalkBody(c.Body, func(op Opcode, _ int) error {
+			f.Ops++
+			switch {
+			case op == OpI32Xor || op == OpI64Xor:
+				f.Xor++
+			case op == OpI32Shl || op == OpI32ShrS || op == OpI32ShrU ||
+				op == OpI64Shl || op == OpI64ShrS || op == OpI64ShrU:
+				f.Shift++
+			case op == OpI32Rotl || op == OpI32Rotr || op == OpI64Rotl || op == OpI64Rotr:
+				f.Rotate++
+			case op >= 0x28 && op <= 0x35:
+				f.Load++
+			case op >= 0x36 && op <= 0x3E:
+				f.Store++
+			case op == OpI32Mul || op == OpI64Mul:
+				f.Mul++
+			case op == OpCall || op == OpCallIndirect:
+				f.Call++
+			}
+			return nil
+		})
+		if err != nil {
+			return Features{}, err
+		}
+	}
+	return f, nil
+}
+
+// MixRatio returns the fraction of instructions that are XOR/shift/rotate —
+// the single most discriminating scalar for hash-function bodies.
+func (f Features) MixRatio() float64 {
+	if f.Ops == 0 {
+		return 0
+	}
+	return float64(f.Xor+f.Shift+f.Rotate) / float64(f.Ops)
+}
+
+// MemoryRatio returns loads+stores per instruction, high for scratchpad
+// random walks.
+func (f Features) MemoryRatio() float64 {
+	if f.Ops == 0 {
+		return 0
+	}
+	return float64(f.Load+f.Store) / float64(f.Ops)
+}

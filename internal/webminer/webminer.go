@@ -1,0 +1,345 @@
+// Package webminer replicates the working principle of the Coinhive web
+// miner outside a browser — the tool the paper built to resolve short links
+// at scale ("we replicate the working principle of the web miner in a
+// non-web implementation that can resolve multiple short links in
+// parallel", §4.1). It speaks the stratum dialect over WebSockets, reverts
+// the job-blob obfuscation, searches nonces with CryptoNight and submits
+// qualifying shares.
+package webminer
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cryptonight"
+	"repro/internal/stratum"
+	"repro/internal/ws"
+)
+
+// Client mines against one pool endpoint.
+type Client struct {
+	// URL is the ws:// endpoint (e.g. ws://host:port/proxy0).
+	URL string
+	// SiteKey is the token shares are credited to.
+	SiteKey string
+	// LinkID, when set, attaches the session to a short link's hash goal.
+	LinkID string
+	// CaptchaID, when set, attaches the session to a proof-of-work captcha;
+	// the session ends when the service pushes the verification token
+	// (surfaced in Result.ResolvedURL).
+	CaptchaID string
+	// Variant must match the pool chain's PoW profile.
+	Variant cryptonight.Variant
+	// MaxHashesPerJob bounds the nonce search per job (0 = 1<<22).
+	MaxHashesPerJob int
+	// Threads splits the nonce search across workers, each with its own
+	// scratchpad — the paper's reference laptop reaches its 20 H/s "with 4
+	// threads". 0 or 1 means single-threaded.
+	Threads int
+
+	// cursor is the rolling nonce-search position. Jobs for the same
+	// template repeat the same blob; continuing the sweep instead of
+	// restarting it is what the real miner's per-worker nonce counter
+	// does, and it is what lets a long session eventually meet the
+	// network difficulty rather than rediscovering one share forever.
+	cursor uint32
+}
+
+// Result summarises a mining session.
+type Result struct {
+	SharesAccepted int
+	HashesComputed int64
+	CreditedHashes int64  // pool-side credit after the last accept
+	ResolvedURL    string // destination if a short link resolved
+}
+
+// jobState is a decoded, deobfuscated job ready for nonce search.
+type jobState struct {
+	id          string
+	blob        []byte
+	target      uint32
+	nonceOffset int
+}
+
+func decodeJob(j stratum.Job) (jobState, error) {
+	blob, err := stratum.DecodeBlob(j.Blob)
+	if err != nil {
+		return jobState{}, err
+	}
+	// Revert the fixed-offset XOR — the step the official miner hides
+	// "deep within its WebAssembly".
+	stratum.ObfuscateBlob(blob)
+	target, err := stratum.DecodeTarget(j.Target)
+	if err != nil {
+		return jobState{}, err
+	}
+	// The nonce offset is derivable from the header prefix; parsing the
+	// blob (now deobfuscated) recovers it.
+	hdr, _, _, err := parseHeaderPrefix(blob)
+	if err != nil {
+		return jobState{}, err
+	}
+	return jobState{id: j.JobID, blob: blob, target: target, nonceOffset: hdr}, nil
+}
+
+// parseHeaderPrefix returns the nonce offset by skipping the three leading
+// varints and the 32-byte prev hash.
+func parseHeaderPrefix(blob []byte) (nonceOffset int, root []byte, numTx uint64, err error) {
+	off := 0
+	for i := 0; i < 3; i++ { // major, minor, timestamp
+		for {
+			if off >= len(blob) {
+				return 0, nil, 0, errors.New("webminer: truncated blob")
+			}
+			b := blob[off]
+			off++
+			if b&0x80 == 0 {
+				break
+			}
+		}
+	}
+	off += 32 // prev hash
+	if off+4+32 > len(blob) {
+		return 0, nil, 0, errors.New("webminer: truncated blob")
+	}
+	return off, blob[off+4 : off+36], 0, nil
+}
+
+// Mine connects, authenticates and keeps submitting shares until
+// wantShares have been accepted or (when LinkID is set) the link resolves.
+func (c *Client) Mine(wantShares int) (Result, error) {
+	var res Result
+	conn, err := ws.Dial(c.URL, nil)
+	if err != nil {
+		return res, err
+	}
+	defer conn.Close()
+
+	send := func(msgType string, params interface{}) error {
+		data, err := stratum.Marshal(msgType, params)
+		if err != nil {
+			return err
+		}
+		return conn.WriteMessage(ws.OpText, data)
+	}
+	user := ""
+	switch {
+	case c.LinkID != "":
+		user = "link:" + c.LinkID
+	case c.CaptchaID != "":
+		user = "captcha:" + c.CaptchaID
+	}
+	if err := send(stratum.TypeAuth, stratum.Auth{SiteKey: c.SiteKey, Type: "anonymous", User: user}); err != nil {
+		return res, err
+	}
+
+	threads := c.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	hashers := make([]*cryptonight.Hasher, threads)
+	for i := range hashers {
+		h, err := cryptonight.NewHasher(c.Variant)
+		if err != nil {
+			return res, err
+		}
+		hashers[i] = h
+	}
+	maxHashes := c.MaxHashesPerJob
+	if maxHashes == 0 {
+		maxHashes = 1 << 22
+	}
+
+	var job *jobState
+	for {
+		if job != nil {
+			nonce, result, hashes, found := solveParallel(hashers, job, c.cursor, maxHashes)
+			c.cursor = nonce + 1
+			res.HashesComputed += int64(hashes)
+			if !found {
+				job = nil // exhausted: wait for fresh work after a dummy submit cycle
+				return res, fmt.Errorf("webminer: exhausted %d hashes without a share", maxHashes)
+			}
+			if err := send(stratum.TypeSubmit, stratum.Submit{
+				Version: 7, JobID: job.id,
+				Nonce:  stratum.EncodeNonce(nonce),
+				Result: stratum.EncodeBlob(result[:]),
+			}); err != nil {
+				return res, err
+			}
+			job = nil
+		}
+		// Drain messages until the next job arrives.
+		for job == nil {
+			_, data, err := conn.ReadMessage()
+			if err != nil {
+				return res, err
+			}
+			env, err := stratum.Unmarshal(data)
+			if err != nil {
+				return res, err
+			}
+			switch env.Type {
+			case stratum.TypeAuthed:
+				// Session established; job follows.
+			case stratum.TypeHashAccepted:
+				var ha stratum.HashAccepted
+				if err := env.Decode(&ha); err != nil {
+					return res, err
+				}
+				res.SharesAccepted++
+				res.CreditedHashes = ha.Hashes
+				if c.LinkID == "" && c.CaptchaID == "" && res.SharesAccepted >= wantShares {
+					return res, nil
+				}
+			case stratum.TypeLinkResolved:
+				var lr stratum.LinkResolved
+				if err := env.Decode(&lr); err != nil {
+					return res, err
+				}
+				res.ResolvedURL = lr.URL
+				return res, nil
+			case stratum.TypeJob:
+				var j stratum.Job
+				if err := env.Decode(&j); err != nil {
+					return res, err
+				}
+				js, err := decodeJob(j)
+				if err != nil {
+					return res, err
+				}
+				job = &js
+			case stratum.TypeError:
+				var e stratum.Error
+				_ = env.Decode(&e)
+				return res, fmt.Errorf("webminer: pool error: %s", e.Error)
+			}
+		}
+	}
+}
+
+// solveParallel stripes the nonce space across the worker hashers: worker
+// w scans start+w, start+w+T, start+w+2T, … — the layout the web miner's
+// thread pool uses so workers never duplicate an attempt.
+func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
+	if len(hashers) == 1 {
+		return solve(hashers[0], job, start, maxHashes)
+	}
+	type hit struct {
+		nonce  uint32
+		sum    [32]byte
+		hashes int
+	}
+	stride := uint32(len(hashers))
+	perWorker := maxHashes / len(hashers)
+	results := make(chan hit, len(hashers))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := range hashers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blob := append([]byte(nil), job.blob...)
+			h := hashers[w]
+			n := start + uint32(w)
+			local := 0
+			for i := 0; i < perWorker; i++ {
+				select {
+				case <-done:
+					results <- hit{hashes: local}
+					return
+				default:
+				}
+				blob[job.nonceOffset] = byte(n)
+				blob[job.nonceOffset+1] = byte(n >> 8)
+				blob[job.nonceOffset+2] = byte(n >> 16)
+				blob[job.nonceOffset+3] = byte(n >> 24)
+				sum := h.Sum(blob)
+				local++
+				if cryptonight.CheckCompactTarget(sum, job.target) {
+					results <- hit{nonce: n, sum: sum, hashes: local}
+					return
+				}
+				n += stride
+			}
+			results <- hit{hashes: local}
+		}(w)
+	}
+	var winner *hit
+	for range hashers {
+		r := <-results
+		hashes += r.hashes
+		if r.hashes > 0 && (r.sum != [32]byte{}) && winner == nil {
+			rr := r
+			winner = &rr
+			close(done)
+		}
+	}
+	wg.Wait()
+	if winner == nil {
+		return 0, result, hashes, false
+	}
+	return winner.nonce, winner.sum, hashes, true
+}
+
+// solve searches nonces sequentially from start until the compact target
+// is met.
+func solve(h *cryptonight.Hasher, job *jobState, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
+	blob := append([]byte(nil), job.blob...)
+	for i := 0; i < maxHashes; i++ {
+		n := start + uint32(i)
+		blob[job.nonceOffset] = byte(n)
+		blob[job.nonceOffset+1] = byte(n >> 8)
+		blob[job.nonceOffset+2] = byte(n >> 16)
+		blob[job.nonceOffset+3] = byte(n >> 24)
+		sum := h.Sum(blob)
+		hashes++
+		if cryptonight.CheckCompactTarget(sum, job.target) {
+			return n, sum, hashes, true
+		}
+	}
+	return 0, result, hashes, false
+}
+
+// LinkPageInfo is what the paper's scraper extracted from every cnhv.co
+// interstitial: the creator's token and the configured hash price.
+type LinkPageInfo struct {
+	ID       string
+	Token    string
+	Required uint64
+}
+
+// ParseLinkPage extracts the token and required hash count from a
+// short-link progress page.
+func ParseLinkPage(html string) (LinkPageInfo, error) {
+	var info LinkPageInfo
+	var ok1, ok2, ok3 bool
+	info.Token, ok1 = attrValue(html, `data-key="`)
+	hashStr, ok2 := attrValue(html, `data-hashes="`)
+	info.ID, ok3 = attrValue(html, `data-link="`)
+	if !ok1 || !ok2 || !ok3 {
+		return info, errors.New("webminer: page is not a short-link interstitial")
+	}
+	n, err := strconv.ParseUint(hashStr, 10, 64)
+	if err != nil {
+		return info, fmt.Errorf("webminer: bad data-hashes: %w", err)
+	}
+	info.Required = n
+	return info, nil
+}
+
+func attrValue(html, marker string) (string, bool) {
+	i := strings.Index(html, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := html[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}

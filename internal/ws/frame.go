@@ -1,0 +1,218 @@
+// Package ws implements the WebSocket protocol (RFC 6455) on top of
+// net/http, providing both the client side (used by web miners connecting
+// to pool endpoints) and the server side (used by the Coinhive-clone pool).
+// Only the stdlib is used.
+//
+// The paper's Chrome instrumentation captures "all Websocket communication"
+// because browser miners universally use WebSockets to fetch PoW inputs;
+// this package is that transport.
+package ws
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcode identifies a WebSocket frame type.
+type Opcode byte
+
+// RFC 6455 §5.2 opcodes.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// IsControl reports whether the opcode is a control opcode.
+func (o Opcode) IsControl() bool { return o&0x8 != 0 }
+
+func (o Opcode) String() string {
+	switch o {
+	case OpContinuation:
+		return "continuation"
+	case OpText:
+		return "text"
+	case OpBinary:
+		return "binary"
+	case OpClose:
+		return "close"
+	case OpPing:
+		return "ping"
+	case OpPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("opcode(%#x)", byte(o))
+	}
+}
+
+// Close status codes (RFC 6455 §7.4.1).
+const (
+	CloseNormal          = 1000
+	CloseGoingAway       = 1001
+	CloseProtocolError   = 1002
+	CloseUnsupported     = 1003
+	CloseInvalidPayload  = 1007
+	ClosePolicyViolation = 1008
+	CloseTooBig          = 1009
+	CloseInternalErr     = 1011
+)
+
+// Frame is a single wire frame.
+type Frame struct {
+	Fin     bool
+	Opcode  Opcode
+	Masked  bool
+	MaskKey [4]byte
+	Payload []byte
+}
+
+// Protocol errors.
+var (
+	ErrControlTooLong    = errors.New("ws: control frame payload exceeds 125 bytes")
+	ErrFragmentedControl = errors.New("ws: fragmented control frame")
+	ErrReservedBits      = errors.New("ws: reserved bits set")
+	ErrBadLength         = errors.New("ws: non-minimal or invalid length encoding")
+	ErrMaskRequired      = errors.New("ws: client frame not masked")
+	ErrUnexpectedMask    = errors.New("ws: server frame masked")
+	ErrFrameTooBig       = errors.New("ws: frame exceeds read limit")
+)
+
+// MaskBytes applies the WebSocket XOR mask in place, starting at the given
+// position within the mask cycle, and returns the next position.
+func MaskBytes(key [4]byte, pos int, b []byte) int {
+	for i := range b {
+		b[i] ^= key[(pos+i)&3]
+	}
+	return (pos + len(b)) & 3
+}
+
+// WriteFrame encodes f to w. The payload slice is masked in place when
+// f.Masked is set (callers who need the plaintext afterwards must copy).
+func WriteFrame(w io.Writer, f *Frame) error {
+	if f.Opcode.IsControl() {
+		if len(f.Payload) > 125 {
+			return ErrControlTooLong
+		}
+		if !f.Fin {
+			return ErrFragmentedControl
+		}
+	}
+	var hdr [14]byte
+	n := 2
+	b0 := byte(f.Opcode)
+	if f.Fin {
+		b0 |= 0x80
+	}
+	hdr[0] = b0
+	l := len(f.Payload)
+	switch {
+	case l < 126:
+		hdr[1] = byte(l)
+	case l < 1<<16:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:], uint16(l))
+		n += 2
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:], uint64(l))
+		n += 8
+	}
+	if f.Masked {
+		hdr[1] |= 0x80
+		copy(hdr[n:], f.MaskKey[:])
+		n += 4
+		MaskBytes(f.MaskKey, 0, f.Payload)
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// ReadFrame decodes one frame from r. maxPayload bounds the accepted
+// payload size (0 means unlimited). Masked payloads are unmasked before
+// returning.
+func ReadFrame(r io.Reader, maxPayload int64) (*Frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Fin:    hdr[0]&0x80 != 0,
+		Opcode: Opcode(hdr[0] & 0x0F),
+		Masked: hdr[1]&0x80 != 0,
+	}
+	if hdr[0]&0x70 != 0 {
+		return nil, ErrReservedBits
+	}
+	length := int64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, err
+		}
+		length = int64(binary.BigEndian.Uint16(ext[:]))
+		if length < 126 {
+			return nil, ErrBadLength
+		}
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, err
+		}
+		u := binary.BigEndian.Uint64(ext[:])
+		if u>>63 != 0 || u < 1<<16 {
+			return nil, ErrBadLength
+		}
+		length = int64(u)
+	}
+	if f.Opcode.IsControl() {
+		if length > 125 {
+			return nil, ErrControlTooLong
+		}
+		if !f.Fin {
+			return nil, ErrFragmentedControl
+		}
+	}
+	if maxPayload > 0 && length > maxPayload {
+		return nil, ErrFrameTooBig
+	}
+	if f.Masked {
+		if _, err := io.ReadFull(r, f.MaskKey[:]); err != nil {
+			return nil, err
+		}
+	}
+	f.Payload = make([]byte, length)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return nil, err
+	}
+	if f.Masked {
+		MaskBytes(f.MaskKey, 0, f.Payload)
+	}
+	return f, nil
+}
+
+// EncodeClosePayload builds a close frame payload from a status code and
+// reason text.
+func EncodeClosePayload(code uint16, reason string) []byte {
+	p := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(p, code)
+	copy(p[2:], reason)
+	return p
+}
+
+// DecodeClosePayload splits a close frame payload. An empty payload yields
+// CloseNormal per RFC 6455 §7.1.5.
+func DecodeClosePayload(p []byte) (code uint16, reason string) {
+	if len(p) < 2 {
+		return CloseNormal, ""
+	}
+	return binary.BigEndian.Uint16(p), string(p[2:])
+}
