@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test test-short test-race bench
+
+all: build vet test-short
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verify: everything, including the slow experiment suites.
+test: build
+	$(GO) test ./...
+
+# Fast pass: multi-minute simulations and zone-scale corpora are gated
+# behind testing.Short().
+test-short:
+	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent pool core and its drivers.
+test-race:
+	$(GO) test -race ./internal/coinhive/... ./internal/webminer/...
+
+# Paper artefacts as benchmarks; -benchtime=1x regenerates each once.
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+
+# Share-verification scaling curve (the sharded pool's headline number).
+bench-submit:
+	$(GO) test -bench 'BenchmarkSubmitShare' -run '^$$' -cpu 1,2,4,8 .

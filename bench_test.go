@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -246,6 +247,67 @@ func BenchmarkAblationShareDifficulty(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Micro-benchmarks of the hot paths.
 // ---------------------------------------------------------------------------
+
+// premineBenchShares solves one share per live job so the submit benches
+// measure pool-side verification only, not client-side nonce search. Jobs
+// stay valid until the tip moves (pinned far above share difficulty here),
+// so the same share bank can be resubmitted indefinitely.
+type benchShare struct {
+	jobID string
+	nonce uint32
+	sum   [32]byte
+}
+
+func premineBenchShares(b *testing.B, pool *coinhive.Pool, n int) []benchShare {
+	b.Helper()
+	h, err := cryptonight.NewHasher(pool.Chain().Params().PowVariant)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shares := make([]benchShare, n)
+	for i := range shares {
+		job := pool.Job(i%pool.NumEndpoints(), i, false)
+		nonce, sum, _ := grindShare(b, h, job)
+		shares[i] = benchShare{jobID: job.JobID, nonce: nonce, sum: sum}
+	}
+	return shares
+}
+
+// BenchmarkSubmitShareSerial is the single-submitter reference point for
+// BenchmarkSubmitShareParallel: one goroutine, one CryptoNight scratchpad.
+func BenchmarkSubmitShareSerial(b *testing.B) {
+	pool := newBenchPool(b, 64)
+	shares := premineBenchShares(b, pool, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := shares[i%len(shares)]
+		if _, err := pool.SubmitShare("bench", s.jobID, s.nonce, s.sum, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitShareParallel measures SubmitShare throughput with one
+// submitter per GOMAXPROCS. Verification — the dominant cost — runs outside
+// every pool lock on a per-goroutine scratchpad, so throughput scales with
+// cores where the seed's single-mutex pool was pinned to one
+// (run with -cpu 1,2,4,8 to see the scaling curve).
+func BenchmarkSubmitShareParallel(b *testing.B) {
+	pool := newBenchPool(b, 64)
+	shares := premineBenchShares(b, pool, 32)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := shares[next.Add(1)%uint64(len(shares))]
+			if _, err := pool.SubmitShare("bench", s.jobID, s.nonce, s.sum, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 func BenchmarkMicroPoolJobIssue(b *testing.B) {
 	pool := newBenchPool(b, 256)

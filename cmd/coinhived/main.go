@@ -6,6 +6,7 @@
 // Usage:
 //
 //	coinhived [-listen :8080] [-share-diff 256] [-link-diff 16]
+//	coinhived -smoke        # boot the service, serve one stats request, exit
 //
 // Endpoints:
 //
@@ -18,10 +19,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
 
 	"repro/internal/blockchain"
 	"repro/internal/coinhive"
@@ -29,18 +34,31 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", ":8080", "listen address")
-	shareDiff := flag.Uint64("share-diff", 256, "per-share difficulty")
-	linkDiff := flag.Uint64("link-diff", 16, "short-link share difficulty")
-	minDiff := flag.Uint64("min-difficulty", 1<<22, "network difficulty floor")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("coinhived", flag.ContinueOnError)
+	listen := fs.String("listen", ":8080", "listen address")
+	shareDiff := fs.Uint64("share-diff", 256, "per-share difficulty")
+	linkDiff := fs.Uint64("link-diff", 16, "short-link share difficulty")
+	minDiff := fs.Uint64("min-difficulty", 1<<22, "network difficulty floor")
+	smoke := fs.Bool("smoke", false, "serve one stats request on an ephemeral port, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	params := blockchain.SimParams()
 	params.MinDifficulty = *minDiff
 	chain, err := blockchain.NewChain(params, uint64(simclock.Real().Now().Unix()),
 		blockchain.AddressFromString("genesis"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pool, err := coinhive.NewPool(coinhive.PoolConfig{
 		Chain:               chain,
@@ -50,9 +68,29 @@ func main() {
 		LinkShareDifficulty: *linkDiff,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("coinhived: %d pool endpoints on %s (chain difficulty %d)\n",
+	handler := coinhive.NewServer(pool)
+
+	if *smoke {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(ln)
+		defer srv.Close()
+		resp, err := http.Get("http://" + ln.Addr().String() + "/api/stats")
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Fprintf(out, "coinhived smoke: %d endpoints up, stats: %s", pool.NumEndpoints(), body)
+		return nil
+	}
+
+	fmt.Fprintf(out, "coinhived: %d pool endpoints on %s (chain difficulty %d)\n",
 		pool.NumEndpoints(), *listen, chain.NextDifficulty())
-	log.Fatal(http.ListenAndServe(*listen, coinhive.NewServer(pool)))
+	return http.ListenAndServe(*listen, handler)
 }

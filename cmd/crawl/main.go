@@ -8,9 +8,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/browser"
@@ -21,42 +24,55 @@ import (
 )
 
 func main() {
-	tldFlag := flag.String("tld", "alexa", "population: alexa, com, net, org")
-	n := flag.Int("n", 100_000, "corpus size")
-	mode := flag.String("mode", "both", "static, browser, or both")
-	seed := flag.Uint64("seed", 20180501, "corpus seed")
-	workers := flag.Int("workers", 8, "parallelism")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crawl", flag.ContinueOnError)
+	tldFlag := fs.String("tld", "alexa", "population: alexa, com, net, org")
+	n := fs.Int("n", 100_000, "corpus size")
+	mode := fs.String("mode", "both", "static, browser, or both")
+	seed := fs.Uint64("seed", 20180501, "corpus seed")
+	workers := fs.Int("workers", 8, "parallelism")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	tld := webgen.TLD(*tldFlag)
 	switch tld {
 	case webgen.TLDAlexa, webgen.TLDCom, webgen.TLDNet, webgen.TLDOrg:
 	default:
-		log.Fatalf("unknown tld %q", *tldFlag)
+		return fmt.Errorf("unknown tld %q", *tldFlag)
 	}
 	corpus := webgen.Generate(webgen.DefaultConfig(tld, *n, *seed))
 	list := nocoin.Bundled()
 
 	if *mode == "static" || *mode == "both" {
 		rep := crawler.Scan(corpus, crawler.NewCorpusFetcher(corpus), list, *workers)
-		fmt.Printf("static scan: %d probed, %d fetched, %d NoCoin hits (%.4f%%)\n",
+		fmt.Fprintf(out, "static scan: %d probed, %d fetched, %d NoCoin hits (%.4f%%)\n",
 			rep.Total, rep.Fetched, len(rep.Hits), rep.HitRate()*100)
 		rows := [][]string{}
 		for _, e := range analysis.RankDescending(rep.FamilyCounts) {
 			rows = append(rows, []string{e.Key, fmt.Sprintf("%d", e.Count)})
 		}
-		fmt.Println(analysis.Table([]string{"script family", "sites"}, rows))
+		fmt.Fprintln(out, analysis.Table([]string{"script family", "sites"}, rows))
 	}
 	if *mode == "browser" || *mode == "both" {
 		rep := browser.Crawl(corpus, fingerprint.ReferenceDB(), list, *workers)
-		fmt.Printf("browser crawl: %d visited, %d timed out, %d with Wasm, %d miners\n",
+		fmt.Fprintf(out, "browser crawl: %d visited, %d timed out, %d with Wasm, %d miners\n",
 			rep.Total, rep.TimedOut, rep.WasmSites, rep.MinerSites)
-		fmt.Printf("NoCoin on final HTML: %d hits, %d blocked miners, %d missed (%.0f%%)\n",
+		fmt.Fprintf(out, "NoCoin on final HTML: %d hits, %d blocked miners, %d missed (%.0f%%)\n",
 			rep.NoCoinHits, rep.MinersBlockedByNoCoin, rep.MinersMissedByNoCoin, rep.MissRate()*100)
 		rows := [][]string{}
 		for _, e := range analysis.RankDescending(rep.FamilyCounts) {
 			rows = append(rows, []string{e.Key, fmt.Sprintf("%d", e.Count)})
 		}
-		fmt.Println(analysis.Table([]string{"wasm family", "sites"}, rows))
+		fmt.Fprintln(out, analysis.Table([]string{"wasm family", "sites"}, rows))
 	}
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTinyStaticScan(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "1500", "-mode", "static", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "static scan: 1500 probed") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunRejectsUnknownTLD(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tld", "museum"}, &out); err == nil {
+		t.Error("unknown tld accepted")
+	}
+}

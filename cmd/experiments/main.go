@@ -10,8 +10,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
 	"os"
 	"strings"
 	"time"
@@ -20,11 +23,23 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "ci", "corpus/observation scale: ci or paper")
-	only := flag.String("only", "", "comma-separated subset (fig2,table1,table2,table3,fig3,fig4,table45,fig5,table6,netsize,economics)")
-	workers := flag.Int("workers", 8, "crawl parallelism")
-	seed := flag.Int64("seed", 2018, "simulation seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "ci", "corpus/observation scale: ci or paper")
+	only := fs.String("only", "", "comma-separated subset (fig2,table1,table2,table3,fig3,fig4,table45,fig5,table6,netsize,economics)")
+	workers := fs.Int("workers", 8, "crawl parallelism")
+	seed := fs.Int64("seed", 2018, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scale := experiments.ScaleCI
 	switch *scaleFlag {
@@ -32,8 +47,7 @@ func main() {
 	case "paper":
 		scale = experiments.ScalePaper
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -42,9 +56,9 @@ func main() {
 		}
 	}
 	run := func(key string) bool { return len(want) == 0 || want[key] }
-	section := func(out string) {
-		fmt.Println(out)
-		fmt.Println()
+	section := func(s string) {
+		fmt.Fprintln(out, s)
+		fmt.Fprintln(out)
 	}
 
 	if run("fig2") {
@@ -75,36 +89,33 @@ func main() {
 		}
 		res, err := experiments.RunResolve(scale, per, tail)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "table45:", err)
-			os.Exit(1)
+			return fmt.Errorf("table45: %w", err)
 		}
 		section(res.Render())
 	}
 	if run("fig5") {
 		res, err := experiments.RunFig5(*seed, 2*time.Second)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fig5:", err)
-			os.Exit(1)
+			return fmt.Errorf("fig5: %w", err)
 		}
 		section(res.Render())
 	}
 	if run("table6") {
 		res, err := experiments.RunTable6(*seed, 2*time.Second)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "table6:", err)
-			os.Exit(1)
+			return fmt.Errorf("table6: %w", err)
 		}
 		section(res.Render())
 	}
 	if run("netsize") {
 		res, err := experiments.RunNetworkSize(*seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "netsize:", err)
-			os.Exit(1)
+			return fmt.Errorf("netsize: %w", err)
 		}
 		section(res.Render())
 	}
 	if run("economics") {
 		section(experiments.RunEconomics(experiments.PaperEconomics()).Render())
 	}
+	return nil
 }

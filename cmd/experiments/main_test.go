@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEconomicsOnly(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "economics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mining-vs-ads economics") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

@@ -9,21 +9,37 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/cryptonight"
 	"repro/internal/webminer"
 )
 
 func main() {
-	pool := flag.String("pool", "ws://localhost:8080/proxy0", "pool websocket endpoint")
-	key := flag.String("key", "minerd-default", "site key (token)")
-	link := flag.String("link", "", "short-link ID to resolve (overrides -shares)")
-	shares := flag.Int("shares", 5, "shares to mine before exiting")
-	variant := flag.String("variant", "test", "cryptonight profile: test, lite, full")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("minerd", flag.ContinueOnError)
+	pool := fs.String("pool", "ws://localhost:8080/proxy0", "pool websocket endpoint")
+	key := fs.String("key", "minerd-default", "site key (token)")
+	link := fs.String("link", "", "short-link ID to resolve (overrides -shares)")
+	shares := fs.Int("shares", 5, "shares to mine before exiting")
+	threads := fs.Int("threads", 1, "nonce-search worker threads")
+	variant := fs.String("variant", "test", "cryptonight profile: test, lite, full")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	v := cryptonight.Test
 	switch *variant {
@@ -33,16 +49,17 @@ func main() {
 	case "full":
 		v = cryptonight.Full
 	default:
-		log.Fatalf("unknown variant %q", *variant)
+		return fmt.Errorf("unknown variant %q", *variant)
 	}
-	c := &webminer.Client{URL: *pool, SiteKey: *key, LinkID: *link, Variant: v}
+	c := &webminer.Client{URL: *pool, SiteKey: *key, LinkID: *link, Variant: v, Threads: *threads}
 	res, err := c.Mine(*shares)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("accepted %d shares, computed %d hashes, pool credit %d hashes\n",
+	fmt.Fprintf(out, "accepted %d shares, computed %d hashes, pool credit %d hashes\n",
 		res.SharesAccepted, res.HashesComputed, res.CreditedHashes)
 	if res.ResolvedURL != "" {
-		fmt.Printf("link resolved: %s\n", res.ResolvedURL)
+		fmt.Fprintf(out, "link resolved: %s\n", res.ResolvedURL)
 	}
+	return nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/simclock"
+)
+
+func TestRunMinesOneShare(t *testing.T) {
+	p := blockchain.SimParams()
+	p.MinDifficulty = 1 << 40
+	chain, err := blockchain.NewChain(p, 1_525_000_000, blockchain.AddressFromString("genesis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain:           chain,
+		Wallet:          blockchain.AddressFromString("coinhive"),
+		Clock:           simclock.New(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)),
+		ShareDifficulty: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coinhive.NewServer(pool))
+	defer srv.Close()
+
+	var out strings.Builder
+	ws := "ws" + strings.TrimPrefix(srv.URL, "http") + "/proxy3"
+	if err := run([]string{"-pool", ws, "-key", "smoke-key", "-shares", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "accepted 1 shares") {
+		t.Errorf("output = %q", out.String())
+	}
+	a, ok := pool.AccountSnapshot("smoke-key")
+	if !ok || a.TotalHashes != 8 {
+		t.Errorf("pool-side account = %+v", a)
+	}
+}
+
+func TestRunRejectsUnknownVariant(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-variant", "quantum"}, &out); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

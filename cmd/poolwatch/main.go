@@ -5,38 +5,79 @@
 // Usage:
 //
 //	poolwatch [-days 28] [-seed 2018] [-tick 2s]
+//	poolwatch -ensemble 4       # four independent 28-day campaigns in parallel
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/experiments"
 	"repro/internal/poolwatch"
 )
 
 func main() {
-	days := flag.Int("days", 28, "observation window in days")
-	seed := flag.Int64("seed", 2018, "simulation seed")
-	tick := flag.Duration("tick", 2*time.Second, "tip-change check interval (virtual)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("poolwatch", flag.ContinueOnError)
+	days := fs.Int("days", 28, "observation window in days")
+	seed := fs.Int64("seed", 2018, "simulation seed")
+	tick := fs.Duration("tick", 2*time.Second, "tip-change check interval (virtual)")
+	ensemble := fs.Int("ensemble", 0, "run N independent 28-day campaigns on a worker pool")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *ensemble > 0 {
+		if *days != 28 {
+			return errors.New("poolwatch: -days is not supported with -ensemble (campaigns are fixed at 28 days)")
+		}
+		seeds := make([]int64, *ensemble)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		results, err := experiments.RunFig5Ensemble(seeds, *tick, 0)
+		if err != nil {
+			return err
+		}
+		var medians []float64
+		for i, r := range results {
+			fmt.Fprintf(out, "seed %d: median %.1f blocks/day, average %.1f, attributed %d/%d\n",
+				seeds[i], r.MedianPerDay, r.AveragePerDay, r.Attributed, r.PoolTruth)
+			medians = append(medians, r.MedianPerDay)
+		}
+		fmt.Fprintf(out, "ensemble median-of-medians: %.1f blocks/day (paper: 8.5)\n",
+			analysis.Median(medians))
+		return nil
+	}
 
 	if *days == 28 {
 		res, err := experiments.RunFig5(*seed, *tick)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(res.Render())
-		return
+		fmt.Fprintln(out, res.Render())
+		return nil
 	}
 	// Custom window: run the world manually.
 	start := time.Date(2018, 4, 26, 0, 0, 0, 0, time.UTC)
 	w, err := experiments.NewWorld(start, experiments.PoolHashRate,
 		experiments.NetworkHashRate, experiments.CoinhiveActivity, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	watcher := poolwatch.New(poolwatch.Config{Source: w.Net, Chain: w.Chain})
 	w.Net.Start()
@@ -45,8 +86,9 @@ func main() {
 	stop()
 	watcher.Sweep()
 	st := watcher.StatsSnapshot()
-	fmt.Printf("polled %d times (%d failures), max inputs per prev %d\n",
+	fmt.Fprintf(out, "polled %d times (%d failures), max inputs per prev %d\n",
 		st.Polls, st.PollFailures, st.MaxInputsPerPrev)
-	fmt.Printf("attributed %d blocks over %d days (%.2f/day)\n",
+	fmt.Fprintf(out, "attributed %d blocks over %d days (%.2f/day)\n",
 		st.Attributed, *days, float64(st.Attributed)/float64(*days))
+	return nil
 }

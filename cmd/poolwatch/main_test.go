@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOneDayWindow(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-days", "1", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "polled") || !strings.Contains(got, "attributed") {
+		t.Errorf("output = %q", got)
+	}
+}

@@ -9,11 +9,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 
 	"repro/internal/cryptonight"
@@ -22,35 +24,46 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 200_000, "link-space size for the distribution analysis")
-	resolve := flag.String("resolve", "", "short-link ID to resolve against -service")
-	service := flag.String("service", "http://localhost:8080", "coinhived base URL")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shortlink", flag.ContinueOnError)
+	n := fs.Int("n", 200_000, "link-space size for the distribution analysis")
+	resolve := fs.String("resolve", "", "short-link ID to resolve against -service")
+	service := fs.String("service", "http://localhost:8080", "coinhived base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *resolve != "" {
-		resolveLive(*service, *resolve)
-		return
+		return resolveLive(out, *service, *resolve)
 	}
-	_ = n
-	fmt.Println(experiments.RunFig3(experiments.ScaleCI).Render())
-	fmt.Println()
-	fmt.Println(experiments.RunFig4(experiments.ScaleCI).Render())
+	fmt.Fprintln(out, experiments.RunFig3Links(*n).Render())
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, experiments.RunFig4Links(*n).Render())
+	return nil
 }
 
 // resolveLive scrapes the interstitial exactly as the paper's crawler did,
 // then mines the required hashes with the non-browser miner.
-func resolveLive(base, id string) {
+func resolveLive(out io.Writer, base, id string) error {
 	resp, err := http.Get(base + "/cn/" + id)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	info, err := webminer.ParseLinkPage(string(body))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("link %s: creator token %s, %d hashes required\n", info.ID, info.Token, info.Required)
+	fmt.Fprintf(out, "link %s: creator token %s, %d hashes required\n", info.ID, info.Token, info.Required)
 	c := &webminer.Client{
 		URL:     "ws" + strings.TrimPrefix(base, "http") + "/proxy0",
 		SiteKey: info.Token,
@@ -59,7 +72,8 @@ func resolveLive(base, id string) {
 	}
 	res, err := c.Mine(0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("resolved after %d hashes: %s\n", res.HashesComputed, res.ResolvedURL)
+	fmt.Fprintf(out, "resolved after %d hashes: %s\n", res.HashesComputed, res.ResolvedURL)
+	return nil
 }

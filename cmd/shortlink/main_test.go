@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDistributionAnalysis(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "20000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Figure 3") || !strings.Contains(got, "Figure 4") {
+		t.Errorf("output = %q", got)
+	}
+}

@@ -148,12 +148,19 @@ func (c *Chain) NextDifficulty() uint64 {
 }
 
 func (c *Chain) nextDifficultyLocked() uint64 {
+	// Only the trailing retarget window matters; materialising every
+	// timestamp since genesis would make each call — and there are a few
+	// per block — O(chain length).
 	n := len(c.blocks)
-	ts := make([]uint64, n)
-	for i, b := range c.blocks {
-		ts[i] = b.Timestamp
+	start := 0
+	if n > c.params.DifficultyWindow {
+		start = n - c.params.DifficultyWindow
 	}
-	return NextDifficulty(ts, c.cumDiff, uint64(c.params.TargetBlockTime.Seconds()),
+	ts := make([]uint64, n-start)
+	for i := start; i < n; i++ {
+		ts[i-start] = c.blocks[i].Timestamp
+	}
+	return NextDifficulty(ts, c.cumDiff[start:], uint64(c.params.TargetBlockTime.Seconds()),
 		c.params.DifficultyWindow, c.params.DifficultyCut, c.params.MinDifficulty)
 }
 
@@ -180,14 +187,13 @@ func (c *Chain) BaseReward() uint64 {
 func (c *Chain) NewTemplate(timestamp uint64, to Address, extra []byte, txHashes [][32]byte) *Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	tip := c.blocks[len(c.blocks)-1]
 	height := uint64(len(c.blocks))
 	return &Block{
 		Header: Header{
 			MajorVersion: c.params.MajorVersion,
 			MinorVersion: c.params.MinorVersion,
 			Timestamp:    timestamp,
-			PrevHash:     tip.ID(),
+			PrevHash:     c.tipID, // cached — recomputing tip.ID() costs three Keccaks per template
 		},
 		Coinbase: NewCoinbase(c.params.BaseReward(c.generated), to, height+60, extra),
 		TxHashes: append([][32]byte(nil), txHashes...),

@@ -57,6 +57,9 @@ func TestVisitCapturesArtifacts(t *testing.T) {
 }
 
 func TestCrawlFindsDynamicMinersThatNoCoinMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus browser crawl")
+	}
 	cfg := webgen.DefaultConfig(webgen.TLDAlexa, 60_000, 42)
 	corpus := webgen.Generate(cfg)
 	db := fingerprint.ReferenceDB()

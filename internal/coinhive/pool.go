@@ -5,6 +5,12 @@
 // per-token share accounting with a 70/30 revenue split, the cnhv.co
 // short-link forwarding service, and the script/Wasm assets embedded by
 // customer websites.
+//
+// The pool core is sharded along the topology the paper observed: each of
+// the 16 backend systems owns its template/job state behind its own lock,
+// account credit is striped across independent locks, and CryptoNight
+// share verification — by far the most expensive operation — runs outside
+// every lock, so N concurrent submitters verify on N cores.
 package coinhive
 
 import (
@@ -12,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blockchain"
 	"repro/internal/cryptonight"
@@ -26,6 +34,10 @@ const (
 	DefaultTemplatesPerBackend = 8
 	DefaultEndpointsPerBackend = 2
 )
+
+// accountStripeCount is the number of independent account locks. Tokens are
+// hashed onto stripes, so submitters for different site keys rarely contend.
+const accountStripeCount = 64
 
 // PoolConfig configures a Pool.
 type PoolConfig struct {
@@ -99,28 +111,52 @@ type jobRef struct {
 	linkDiff bool
 }
 
+// backendShard is one backend system's template and job state. Each shard
+// refreshes lazily on its next access after the chain tip moves, so a tip
+// change never stalls the other 15 backends.
+type backendShard struct {
+	mu         sync.RWMutex
+	tip        [32]byte
+	refreshSeq uint32
+	jobSeq     uint64
+	templates  []*blockchain.Block // [slot]
+	blobs      [][]byte            // cached hashing blobs per template
+	jobBlobHex []string            // cached obfuscated wire blobs
+	jobs       map[string]jobRef
+}
+
+// accountStripe holds the accounts (and this round's hash credit) for the
+// tokens hashing onto it.
+type accountStripe struct {
+	mu    sync.Mutex
+	accts map[string]*Account
+	round map[string]uint64 // hashes credited since the last found block
+}
+
 // Pool is the in-process pool core. The network front (Server) and the
 // simulation driver both operate through it.
 type Pool struct {
 	cfg PoolConfig
 
-	mu          sync.Mutex
-	hasher      *cryptonight.Hasher
-	templates   [][]*blockchain.Block // [backend][slot]
-	blobs       [][][]byte            // cached hashing blobs per template
-	jobBlobHex  [][]string            // cached obfuscated wire blobs
-	tip         [32]byte
-	jobSeq      uint64
-	jobs        map[string]jobRef
-	accounts    map[string]*Account
-	roundHashes map[string]uint64 // hashes credited since the last found block
-	links       *LinkStore
-	captchas    *CaptchaService
-	found       []FoundBlock
-	keptAtomic  uint64 // pool's 30% cut, cumulative
-	paidAtomic  uint64 // users' 70%, cumulative
-	sharesOK    uint64
-	sharesBad   uint64
+	// hashers hands each verifying goroutine its own CryptoNight
+	// scratchpad; Hasher is not safe for concurrent use.
+	hashers sync.Pool
+
+	backends []*backendShard
+	stripes  [accountStripeCount]accountStripe
+
+	links    *LinkStore
+	captchas *CaptchaService
+
+	sharesOK  atomic.Uint64
+	sharesBad atomic.Uint64
+	kept      atomic.Uint64 // pool's 30% cut, cumulative
+	paid      atomic.Uint64 // users' 70%, cumulative
+
+	// settleMu serialises the rare won-a-block path: chain append, reward
+	// settlement and the found-block record.
+	settleMu sync.Mutex
+	found    []FoundBlock
 }
 
 // NewPool builds a pool over an existing chain.
@@ -129,22 +165,33 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if cfg.Chain == nil {
 		return nil, errors.New("coinhive: PoolConfig.Chain is required")
 	}
-	h, err := cryptonight.NewHasher(cfg.Chain.Params().PowVariant)
-	if err != nil {
+	variant := cfg.Chain.Params().PowVariant
+	if _, err := cryptonight.NewHasher(variant); err != nil {
 		return nil, err
 	}
 	p := &Pool{
-		cfg:         cfg,
-		hasher:      h,
-		jobs:        map[string]jobRef{},
-		accounts:    map[string]*Account{},
-		roundHashes: map[string]uint64{},
-		links:       NewLinkStore(),
-		captchas:    NewCaptchaService(cfg.Wallet[:16]),
+		cfg:      cfg,
+		links:    NewLinkStore(),
+		captchas: NewCaptchaService(cfg.Wallet[:16]),
 	}
-	p.mu.Lock()
-	p.refreshTemplatesLocked()
-	p.mu.Unlock()
+	p.hashers.New = func() interface{} {
+		h, err := cryptonight.NewHasher(variant)
+		if err != nil {
+			panic(err) // impossible: variant validated above
+		}
+		return h
+	}
+	for i := range p.stripes {
+		p.stripes[i].accts = map[string]*Account{}
+		p.stripes[i].round = map[string]uint64{}
+	}
+	tip := cfg.Chain.TipID()
+	p.backends = make([]*backendShard, cfg.NumBackends)
+	for b := range p.backends {
+		sh := &backendShard{}
+		p.refreshShardLocked(sh, b, tip)
+		p.backends[b] = sh
+	}
 	return p, nil
 }
 
@@ -176,63 +223,98 @@ func (p *Pool) BackendOfEndpoint(endpoint int) int {
 	return endpoint % p.cfg.NumBackends
 }
 
-// refreshTemplatesLocked rebuilds the per-backend PoW inputs on a new tip.
-func (p *Pool) refreshTemplatesLocked() {
-	tip := p.cfg.Chain.TipID()
-	p.tip = tip
+// jobID encodes the owning backend into the wire job identifier so a
+// submitted share routes straight to its shard without a global lookup.
+func jobID(backend int, seq uint64) string {
+	return strconv.Itoa(backend) + "-" + strconv.FormatUint(seq, 10)
+}
+
+// backendOfJobID recovers the shard index from a wire job identifier.
+func backendOfJobID(id string) (int, bool) {
+	i := strings.IndexByte(id, '-')
+	if i <= 0 {
+		return 0, false
+	}
+	b, err := strconv.Atoi(id[:i])
+	if err != nil || b < 0 {
+		return 0, false
+	}
+	return b, true
+}
+
+// refreshShardLocked rebuilds one backend's PoW inputs on a new tip. The
+// caller holds sh.mu (or, during NewPool, exclusive ownership).
+func (p *Pool) refreshShardLocked(sh *backendShard, backend int, tip [32]byte) {
+	sh.tip = tip
+	sh.refreshSeq++
 	ts := uint64(p.cfg.Clock.Now().Unix())
-	p.templates = make([][]*blockchain.Block, p.cfg.NumBackends)
-	p.blobs = make([][][]byte, p.cfg.NumBackends)
-	p.jobBlobHex = make([][]string, p.cfg.NumBackends)
+	sh.templates = make([]*blockchain.Block, p.cfg.TemplatesPerBackend)
+	sh.blobs = make([][]byte, p.cfg.TemplatesPerBackend)
+	sh.jobBlobHex = make([]string, p.cfg.TemplatesPerBackend)
 	// Jobs issued against the previous tip can never verify again; drop
 	// them rather than letting the map grow for the chain's lifetime.
-	p.jobs = map[string]jobRef{}
-	for b := range p.templates {
-		p.templates[b] = make([]*blockchain.Block, p.cfg.TemplatesPerBackend)
-		p.blobs[b] = make([][]byte, p.cfg.TemplatesPerBackend)
-		p.jobBlobHex[b] = make([]string, p.cfg.TemplatesPerBackend)
-		for s := range p.templates[b] {
-			extra := make([]byte, 8)
-			extra[0] = 0xC4 // pool tag
-			extra[1] = byte(b)
-			extra[2] = byte(s)
-			binary.LittleEndian.PutUint32(extra[4:], uint32(p.jobSeq))
-			tmpl := p.cfg.Chain.NewTemplate(ts, p.cfg.Wallet, extra, nil)
-			p.templates[b][s] = tmpl
-			// The blob (and its embedded Merkle root) is fixed for the
-			// template's lifetime; caching it keeps the watcher's polling
-			// loop off the Keccak hot path.
-			blob := tmpl.HashingBlob()
-			p.blobs[b][s] = blob
-			wire := append([]byte(nil), blob...)
-			stratum.ObfuscateBlob(wire)
-			p.jobBlobHex[b][s] = stratum.EncodeBlob(wire)
-		}
+	sh.jobs = map[string]jobRef{}
+	for s := range sh.templates {
+		extra := make([]byte, 8)
+		extra[0] = 0xC4 // pool tag
+		extra[1] = byte(backend)
+		extra[2] = byte(s)
+		binary.LittleEndian.PutUint32(extra[4:], sh.refreshSeq)
+		tmpl := p.cfg.Chain.NewTemplate(ts, p.cfg.Wallet, extra, nil)
+		sh.templates[s] = tmpl
+		// The blob (and its embedded Merkle root) is fixed for the
+		// template's lifetime; caching it keeps the watcher's polling
+		// loop and the verify path off the Keccak hot path.
+		blob := tmpl.HashingBlob()
+		sh.blobs[s] = blob
+		wire := append([]byte(nil), blob...)
+		stratum.ObfuscateBlob(wire)
+		sh.jobBlobHex[s] = stratum.EncodeBlob(wire)
 	}
 }
 
 // RefreshIfStale rebuilds templates when the chain tip moved (called by the
-// simulation after background miners extend the chain).
+// simulation after background miners extend the chain). Shards also refresh
+// lazily on their next Job, so this is an optimisation, not a correctness
+// requirement; submits against a stale shard are rejected with
+// ErrUnknownJob until that shard hands out fresh work.
 func (p *Pool) RefreshIfStale() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.tip != p.cfg.Chain.TipID() {
-		p.refreshTemplatesLocked()
+	tip := p.cfg.Chain.TipID()
+	for b, sh := range p.backends {
+		sh.mu.Lock()
+		if sh.tip != tip {
+			p.refreshShardLocked(sh, b, tip)
+		}
+		sh.mu.Unlock()
 	}
 }
 
-// Authorize registers (or fetches) the account for a site key.
-func (p *Pool) Authorize(token string) *Account {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.accountLocked(token)
+// stripeFor maps a token to its account stripe (FNV-1a).
+func (p *Pool) stripeFor(token string) *accountStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(token); i++ {
+		h ^= uint32(token[i])
+		h *= 16777619
+	}
+	return &p.stripes[h%accountStripeCount]
 }
 
-func (p *Pool) accountLocked(token string) *Account {
-	a, ok := p.accounts[token]
+// Authorize registers (or fetches) the account for a site key. It returns
+// a snapshot, not the live record: handing out the pointer would let
+// callers read fields that concurrent SubmitShare calls mutate under the
+// stripe lock.
+func (p *Pool) Authorize(token string) Account {
+	st := p.stripeFor(token)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return *st.accountLocked(token)
+}
+
+func (st *accountStripe) accountLocked(token string) *Account {
+	a, ok := st.accts[token]
 	if !ok {
 		a = &Account{Token: token}
-		p.accounts[token] = a
+		st.accts[token] = a
 	}
 	return a
 }
@@ -242,23 +324,25 @@ func (p *Pool) accountLocked(token string) *Account {
 // backend's rotating templates, so polling one endpoint reveals at most
 // TemplatesPerBackend distinct inputs per block (the paper measured 8).
 func (p *Pool) Job(endpoint, slot int, forLink bool) stratum.Job {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.tip != p.cfg.Chain.TipID() {
-		p.refreshTemplatesLocked()
-	}
 	b := p.BackendOfEndpoint(endpoint)
+	sh := p.backends[b]
 	s := ((slot % p.cfg.TemplatesPerBackend) + p.cfg.TemplatesPerBackend) % p.cfg.TemplatesPerBackend
-	p.jobSeq++
-	id := strconv.FormatUint(p.jobSeq, 10)
-	p.jobs[id] = jobRef{backend: b, slot: s, tip: p.tip, linkDiff: forLink}
 	diff := p.cfg.ShareDifficulty
 	if forLink {
 		diff = p.cfg.LinkShareDifficulty
 	}
+	sh.mu.Lock()
+	if tip := p.cfg.Chain.TipID(); sh.tip != tip {
+		p.refreshShardLocked(sh, b, tip)
+	}
+	sh.jobSeq++
+	id := jobID(b, sh.jobSeq)
+	sh.jobs[id] = jobRef{backend: b, slot: s, tip: sh.tip, linkDiff: forLink}
+	blobHex := sh.jobBlobHex[s]
+	sh.mu.Unlock()
 	return stratum.Job{
 		JobID:  id,
-		Blob:   p.jobBlobHex[b][s],
+		Blob:   blobHex,
 		Target: stratum.EncodeTarget(cryptonight.DifficultyForTarget(diff)),
 	}
 }
@@ -271,51 +355,99 @@ func (p *Pool) shareDiffOf(ref jobRef) uint64 {
 	return p.cfg.ShareDifficulty
 }
 
-// SubmitShare verifies a miner's share. linkID, when non-empty, credits a
-// short link's hash goal instead of only the account. It returns the block
-// the share completed, if any (already appended to the chain and paid out).
-func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, linkID string) (*blockchain.Block, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// ShareOutcome reports what an accepted share achieved.
+type ShareOutcome struct {
+	// Credited is the account's total hash credit after this share — what
+	// the wire protocol's hash_accepted message carries.
+	Credited uint64
+	// Diff is the hash credit this share earned.
+	Diff uint64
+	// Block is non-nil when the share also met the network difficulty and
+	// was appended to the chain (already settled and paid out).
+	Block *blockchain.Block
+}
 
-	ref, ok := p.jobs[jobID]
-	if !ok || ref.tip != p.cfg.Chain.TipID() {
-		p.sharesBad++
-		return nil, ErrUnknownJob
+// SubmitShare verifies a miner's share. linkID, when non-empty, credits a
+// short link's hash goal instead of only the account.
+//
+// Only the template lookup (shard read lock) and the account credit
+// (stripe lock) run under locks; the CryptoNight verification in between —
+// the dominant cost — runs on the submitter's own scratchpad, so
+// concurrent submitters verify in parallel.
+func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, linkID string) (ShareOutcome, error) {
+	var out ShareOutcome
+	b, ok := backendOfJobID(jobID)
+	if !ok || b >= len(p.backends) {
+		p.sharesBad.Add(1)
+		return out, ErrUnknownJob
 	}
-	tmpl := p.templates[ref.backend][ref.slot]
-	blob := tmpl.HashingBlob()
+	sh := p.backends[b]
+	tip := p.cfg.Chain.TipID()
+	var (
+		ref  jobRef
+		tmpl *blockchain.Block
+		blob []byte
+	)
+	sh.mu.RLock()
+	if ref, ok = sh.jobs[jobID]; ok && ref.tip == tip {
+		tmpl = sh.templates[ref.slot]
+		blob = append([]byte(nil), sh.blobs[ref.slot]...)
+	}
+	sh.mu.RUnlock()
+	if blob == nil {
+		p.sharesBad.Add(1)
+		return out, ErrUnknownJob
+	}
+
 	blockchain.SpliceNonce(blob, tmpl.NonceOffset(), nonce)
-	got := p.hasher.Sum(blob)
+	h := p.hashers.Get().(*cryptonight.Hasher)
+	got := h.Sum(blob)
+	p.hashers.Put(h)
 	if got != result {
-		p.sharesBad++
-		return nil, ErrBadShare
+		p.sharesBad.Add(1)
+		return out, ErrBadShare
 	}
 	diff := p.shareDiffOf(ref)
 	if !cryptonight.CheckCompactTarget(result, cryptonight.DifficultyForTarget(diff)) {
-		p.sharesBad++
-		return nil, ErrLowShare
+		p.sharesBad.Add(1)
+		return out, ErrLowShare
 	}
-	p.sharesOK++
-	acct := p.accountLocked(token)
+	p.sharesOK.Add(1)
+	out.Diff = diff
+
+	st := p.stripeFor(token)
+	st.mu.Lock()
+	acct := st.accountLocked(token)
 	acct.TotalHashes += diff
-	p.roundHashes[token] += diff
+	st.round[token] += diff
+	out.Credited = acct.TotalHashes
+	st.mu.Unlock()
 	if linkID != "" {
 		p.links.Credit(linkID, diff)
 	}
 
 	// Did the share also satisfy the network difficulty?
 	if !cryptonight.CheckDifficulty(result, p.cfg.Chain.NextDifficulty()) {
-		return nil, nil
+		return out, nil
+	}
+	p.settleMu.Lock()
+	defer p.settleMu.Unlock()
+	if ref.tip != p.cfg.Chain.TipID() {
+		// Another block landed while we verified; the share was valid work
+		// against its tip and stays credited, but it wins nothing.
+		return out, nil
 	}
 	won := &blockchain.Block{Header: tmpl.Header, Coinbase: tmpl.Coinbase, TxHashes: tmpl.TxHashes}
 	won.Nonce = nonce
 	if err := p.cfg.Chain.Append(won); err != nil {
-		return nil, fmt.Errorf("coinhive: chain rejected our block: %w", err)
+		if errors.Is(err, blockchain.ErrBadPrev) {
+			return out, nil // lost a race with a background miner's block
+		}
+		return out, fmt.Errorf("coinhive: chain rejected our block: %w", err)
 	}
-	p.settleBlockLocked(won, ref.backend)
-	p.refreshTemplatesLocked()
-	return won, nil
+	p.settleLocked(won, ref.backend)
+	out.Block = won
+	return out, nil
 }
 
 // ProduceWinningBlock is the simulation fast path: the discrete-event
@@ -325,13 +457,16 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 // nonce are chosen by the caller's randomness; the winning template slot is
 // derived from the nonce so all 128 live PoW inputs are possible winners.
 func (p *Pool) ProduceWinningBlock(ts uint64, backend int, nonce uint32) (*blockchain.Block, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.tip != p.cfg.Chain.TipID() {
-		p.refreshTemplatesLocked()
-	}
+	p.settleMu.Lock()
+	defer p.settleMu.Unlock()
 	b := ((backend % p.cfg.NumBackends) + p.cfg.NumBackends) % p.cfg.NumBackends
-	tmpl := p.templates[b][int(nonce)%p.cfg.TemplatesPerBackend]
+	sh := p.backends[b]
+	sh.mu.Lock()
+	if tip := p.cfg.Chain.TipID(); sh.tip != tip {
+		p.refreshShardLocked(sh, b, tip)
+	}
+	tmpl := sh.templates[int(nonce)%p.cfg.TemplatesPerBackend]
+	sh.mu.Unlock()
 	won := &blockchain.Block{Header: tmpl.Header, Coinbase: tmpl.Coinbase, TxHashes: tmpl.TxHashes}
 	if ts > won.Timestamp {
 		won.Timestamp = ts
@@ -340,36 +475,47 @@ func (p *Pool) ProduceWinningBlock(ts uint64, backend int, nonce uint32) (*block
 	if err := p.cfg.Chain.AppendUnchecked(won); err != nil {
 		return nil, err
 	}
-	p.settleBlockLocked(won, b)
-	p.refreshTemplatesLocked()
+	p.settleLocked(won, b)
 	return won, nil
 }
 
-// settleBlockLocked distributes a found block's reward: FeePercent stays
-// with the pool, the rest is split across accounts in proportion to the
-// hashes they contributed this round.
-func (p *Pool) settleBlockLocked(b *blockchain.Block, backend int) {
+// settleLocked distributes a found block's reward: FeePercent stays with
+// the pool, the rest is split across accounts in proportion to the hashes
+// they contributed this round. The caller holds settleMu; stripe locks are
+// taken one at a time, so shares submitted concurrently with settlement
+// land cleanly in this round or the next.
+func (p *Pool) settleLocked(b *blockchain.Block, backend int) {
 	reward := b.Coinbase.Amount
 	// Users receive floor(reward × (100−fee)%); rounding dust favours the
 	// pool, as any self-respecting fee schedule would.
 	userPart := reward * uint64(100-p.cfg.FeePercent) / 100
+	round := map[string]uint64{}
 	var total uint64
-	for _, h := range p.roundHashes {
-		total += h
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		for token, h := range st.round {
+			round[token] += h
+			total += h
+		}
+		st.round = map[string]uint64{}
+		st.mu.Unlock()
 	}
 	distributed := uint64(0)
 	if total > 0 {
-		for token, h := range p.roundHashes {
+		for token, h := range round {
 			cut := userPart * h / total
-			p.accounts[token].BalanceAtomic += cut
+			st := p.stripeFor(token)
+			st.mu.Lock()
+			st.accountLocked(token).BalanceAtomic += cut
+			st.mu.Unlock()
 			distributed += cut
 		}
 	}
 	// Rounding dust (and the whole user part, when nobody contributed
 	// shares this round) stays with the pool.
-	p.keptAtomic += reward - distributed
-	p.paidAtomic += distributed
-	p.roundHashes = map[string]uint64{}
+	p.kept.Add(reward - distributed)
+	p.paid.Add(distributed)
 	height := p.cfg.Chain.Height()
 	p.found = append(p.found, FoundBlock{
 		Height: height, Timestamp: b.Timestamp, Backend: backend, Reward: reward,
@@ -388,30 +534,39 @@ type Stats struct {
 
 // StatsSnapshot returns current counters.
 func (p *Pool) StatsSnapshot() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.settleMu.Lock()
+	blocks := len(p.found)
+	p.settleMu.Unlock()
+	accounts := 0
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		accounts += len(st.accts)
+		st.mu.Unlock()
+	}
 	return Stats{
-		BlocksFound:   len(p.found),
-		SharesOK:      p.sharesOK,
-		SharesBad:     p.sharesBad,
-		PaidAtomic:    p.paidAtomic,
-		KeptAtomic:    p.keptAtomic,
-		TotalAccounts: len(p.accounts),
+		BlocksFound:   blocks,
+		SharesOK:      p.sharesOK.Load(),
+		SharesBad:     p.sharesBad.Load(),
+		PaidAtomic:    p.paid.Load(),
+		KeptAtomic:    p.kept.Load(),
+		TotalAccounts: accounts,
 	}
 }
 
 // FoundBlocks returns the record of every block the pool mined.
 func (p *Pool) FoundBlocks() []FoundBlock {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.settleMu.Lock()
+	defer p.settleMu.Unlock()
 	return append([]FoundBlock(nil), p.found...)
 }
 
 // AccountSnapshot returns a copy of the account for token, if present.
 func (p *Pool) AccountSnapshot(token string) (Account, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[token]
+	st := p.stripeFor(token)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a, ok := st.accts[token]
 	if !ok {
 		return Account{}, false
 	}

@@ -251,11 +251,10 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 		}
 		var result [32]byte
 		copy(result[:], resBytes)
-		_, err = s.Pool.SubmitShare(auth.SiteKey, sub.JobID, nonce, result, linkID)
+		out, err := s.Pool.SubmitShare(auth.SiteKey, sub.JobID, nonce, result, linkID)
 		switch err {
 		case nil:
-			a, _ := s.Pool.AccountSnapshot(auth.SiteKey)
-			if err := send(stratum.TypeHashAccepted, stratum.HashAccepted{Hashes: int64(a.TotalHashes)}); err != nil {
+			if err := send(stratum.TypeHashAccepted, stratum.HashAccepted{Hashes: int64(out.Credited)}); err != nil {
 				return
 			}
 			if linkID != "" {
@@ -266,7 +265,7 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 				}
 			}
 			if captchaID != "" {
-				cap, cerr := s.Pool.Captchas().Credit(captchaID, s.Pool.ShareDifficulty(true))
+				cap, cerr := s.Pool.Captchas().Credit(captchaID, out.Diff)
 				if cerr == nil && cap.Solved() {
 					// Reuse the link_resolved push to hand the widget its
 					// verification token.

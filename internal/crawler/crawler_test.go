@@ -68,6 +68,9 @@ func TestFamilyOfMatchLabels(t *testing.T) {
 }
 
 func TestScanCorpusEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus static scan")
+	}
 	cfg := webgen.DefaultConfig(webgen.TLDAlexa, 80_000, 17)
 	c := webgen.Generate(cfg)
 	rep := Scan(c, NewCorpusFetcher(c), nocoin.Bundled(), 4)

@@ -12,6 +12,9 @@ import (
 )
 
 func TestFig2ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8 zone-scale scans")
+	}
 	res := RunFig2(ScaleCI, 8)
 	if len(res.Scans) != 8 { // 4 populations × 2 scan dates
 		t.Fatalf("scans = %d", len(res.Scans))
@@ -36,6 +39,9 @@ func TestFig2ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestBrowserCrawlTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two instrumented-browser crawls")
+	}
 	crawls := RunBrowserCrawls(ScaleCI, 8)
 	if len(crawls) != 2 {
 		t.Fatalf("crawls = %d", len(crawls))
@@ -145,6 +151,9 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestResolveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mines a fleet of links end to end")
+	}
 	res, err := RunResolve(ScaleCI, 6, 40)
 	if err != nil {
 		t.Fatal(err)
@@ -215,6 +224,36 @@ func TestFig5FourWeeks(t *testing.T) {
 	// Holiday boosts: 30 Apr (index 4) should exceed the 28-day median.
 	if float64(res.DailyTotals[4]) < res.MedianPerDay {
 		t.Logf("note: 30 Apr total %d not above median %.1f (stochastic)", res.DailyTotals[4], res.MedianPerDay)
+	}
+}
+
+func TestFig5EnsembleMatchesSingleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two four-week campaigns")
+	}
+	// A coarse 15 s poll tick keeps the two campaigns cheap; at the 120 s
+	// block target the watcher still samples every tip several times.
+	seeds := []int64{1, 5}
+	results, err := RunFig5Ensemble(seeds, 15*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(seeds) {
+		t.Fatalf("results = %d, want %d", len(results), len(seeds))
+	}
+	for i, r := range results {
+		if r.MedianPerDay < 5 || r.MedianPerDay > 13 {
+			t.Errorf("seed %d: median = %.1f blocks/day, want ~8.5", seeds[i], r.MedianPerDay)
+		}
+		if r.Attributed < r.PoolTruth*8/10 {
+			t.Errorf("seed %d: attributed %d of %d", seeds[i], r.Attributed, r.PoolTruth)
+		}
+	}
+	// Different seeds must produce genuinely different campaigns.
+	if results[0].DailyTotals[0] == results[1].DailyTotals[0] &&
+		results[0].DailyTotals[10] == results[1].DailyTotals[10] &&
+		results[0].DailyTotals[20] == results[1].DailyTotals[20] {
+		t.Error("ensemble runs look identical; worlds may share state")
 	}
 }
 

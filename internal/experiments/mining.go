@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/blockchain"
+	"repro/internal/parallel"
 	"repro/internal/poolwatch"
 )
 
@@ -76,6 +77,26 @@ func RunFig5(seed int64, tick time.Duration) (Fig5Result, error) {
 	res.MedianPerDay = analysis.Median(daily)
 	res.AveragePerDay = analysis.Mean(daily)
 	return res, nil
+}
+
+// RunFig5Ensemble runs independent Figure-5 observation campaigns — one
+// fully isolated world per seed — on a bounded worker pool. Each world has
+// its own clock, chain, pool and watcher, so the runs parallelise
+// perfectly; the ensemble quantifies the seed-to-seed variance of the
+// stochastic block-arrival process behind the paper's single four-week
+// observation.
+func RunFig5Ensemble(seeds []int64, tick time.Duration, workers int) ([]Fig5Result, error) {
+	results := make([]Fig5Result, len(seeds))
+	errs := make([]error, len(seeds))
+	parallel.ForEach(len(seeds), workers, func(i int) {
+		results[i], errs[i] = RunFig5(seeds[i], tick)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Render prints the Figure 5 heat map.

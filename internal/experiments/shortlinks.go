@@ -39,8 +39,11 @@ type Fig3Result struct {
 }
 
 // RunFig3 enumerates the link space and ranks creators.
-func RunFig3(scale Scale) Fig3Result {
-	specs := linkgen.Generate(linkgen.Default(scale.linkCorpusSize()))
+func RunFig3(scale Scale) Fig3Result { return RunFig3Links(scale.linkCorpusSize()) }
+
+// RunFig3Links is RunFig3 over a custom link-space size.
+func RunFig3Links(n int) Fig3Result {
+	specs := linkgen.Generate(linkgen.Default(n))
 	counts := map[string]int{}
 	for _, s := range specs {
 		counts[s.Token]++
@@ -88,8 +91,11 @@ type Fig4Result struct {
 }
 
 // RunFig4 computes the hash-price distribution, biased and user-bias-free.
-func RunFig4(scale Scale) Fig4Result {
-	specs := linkgen.Generate(linkgen.Default(scale.linkCorpusSize()))
+func RunFig4(scale Scale) Fig4Result { return RunFig4Links(scale.linkCorpusSize()) }
+
+// RunFig4Links is RunFig4 over a custom link-space size.
+func RunFig4Links(n int) Fig4Result {
+	specs := linkgen.Generate(linkgen.Default(n))
 	var all []float64
 	var allU64 []uint64
 	seen := map[string]map[uint64]bool{}
@@ -214,24 +220,20 @@ func RunResolve(scale Scale, perUserSample, tailSample int) (ResolveResult, erro
 
 	wsBase := "ws" + strings.TrimPrefix(srv.URL, "http")
 
-	resolve := func(idx int) (string, bool) {
-		spec := specs[idx]
-		if spec.Hashes == linkgen.InfeasibleHashes {
-			return "", false // several billion years; the paper skipped them too
-		}
-		c := &webminer.Client{
-			URL:     wsBase + "/proxy" + fmt.Sprintf("%d", idx%pool.NumEndpoints()),
-			SiteKey: spec.Token,
-			LinkID:  ids[idx],
-			Variant: cryptonight.Test,
-		}
-		r, err := c.Mine(0)
-		res.HashesComputed += r.HashesComputed
-		if err != nil || r.ResolvedURL == "" {
-			return "", false
-		}
-		return r.ResolvedURL, true
+	// Sampling happens up front; resolution — the mining — then runs as one
+	// concurrent fleet over the pool's endpoints, exactly the shape of the
+	// paper's parallel resolver. Links priced at InfeasibleHashes count as
+	// sampled but are never mined (several billion years; the paper skipped
+	// them too).
+	const (
+		kindTop = iota
+		kindTail
+	)
+	type sample struct {
+		idx  int // index into specs
+		kind int
 	}
+	var samples []sample
 
 	// Table 4: sample links of the top 10 users.
 	perUser := map[string][]int{}
@@ -240,7 +242,6 @@ func RunResolve(scale Scale, perUserSample, tailSample int) (ResolveResult, erro
 			perUser[s.Token] = append(perUser[s.Token], i)
 		}
 	}
-	domainCounts := map[string]int{}
 	users := make([]string, 0, len(perUser))
 	for u := range perUser {
 		users = append(users, u)
@@ -250,20 +251,12 @@ func RunResolve(scale Scale, perUserSample, tailSample int) (ResolveResult, erro
 		idxs := perUser[u]
 		for k := 0; k < perUserSample && k < len(idxs); k++ {
 			res.SampledTop++
-			url, ok := resolve(idxs[k*len(idxs)/perUserSample])
-			if !ok {
-				continue
-			}
-			res.ResolvedTop++
-			domainCounts[hostOf(url)]++
+			samples = append(samples, sample{idx: idxs[k*len(idxs)/perUserSample], kind: kindTop})
 		}
 	}
-	res.TopDomains = analysis.RankDescending(domainCounts)
 
 	// Table 5: the unbiased (per-user deduplicated) tail below 10K hashes.
-	catCounts := map[string]int{}
 	taken := 0
-	classified := 0
 	seen := map[string]map[uint64]bool{}
 	for i, s := range specs {
 		if taken >= tailSample {
@@ -283,20 +276,52 @@ func RunResolve(scale Scale, perUserSample, tailSample int) (ResolveResult, erro
 		m[s.Hashes] = true
 		taken++
 		res.SampledTail++
-		url, ok := resolve(i)
-		if !ok {
+		samples = append(samples, sample{idx: i, kind: kindTail})
+	}
+
+	var tasks []webminer.Task
+	var minable []sample
+	for _, sm := range samples {
+		spec := specs[sm.idx]
+		if spec.Hashes == linkgen.InfeasibleHashes {
 			continue
 		}
-		res.ResolvedTail++
-		cats, ok := engine.Classify(url)
-		if !ok {
+		minable = append(minable, sm)
+		tasks = append(tasks, webminer.Task{
+			URL:     wsBase + "/proxy" + fmt.Sprintf("%d", sm.idx%pool.NumEndpoints()),
+			SiteKey: spec.Token,
+			LinkID:  ids[sm.idx],
+		})
+	}
+	fleet := &webminer.Fleet{Variant: cryptonight.Test}
+	outcomes := fleet.Run(tasks)
+
+	domainCounts := map[string]int{}
+	catCounts := map[string]int{}
+	classified := 0
+	for i, out := range outcomes {
+		res.HashesComputed += out.Result.HashesComputed
+		if out.Err != nil || out.Result.ResolvedURL == "" {
 			continue
 		}
-		classified++
-		for _, c := range cats {
-			catCounts[c]++
+		url := out.Result.ResolvedURL
+		switch minable[i].kind {
+		case kindTop:
+			res.ResolvedTop++
+			domainCounts[hostOf(url)]++
+		case kindTail:
+			res.ResolvedTail++
+			cats, ok := engine.Classify(url)
+			if !ok {
+				continue
+			}
+			classified++
+			for _, c := range cats {
+				catCounts[c]++
+			}
 		}
 	}
+	res.TopDomains = analysis.RankDescending(domainCounts)
 	res.TailCategories = analysis.RankDescending(catCounts)
 	if res.ResolvedTail > 0 {
 		res.Uncategorized = 1 - float64(classified)/float64(res.ResolvedTail)

@@ -22,7 +22,7 @@ type Script struct {
 // end of the (possibly truncated) document.
 func ExtractScripts(doc string) []Script {
 	var out []Script
-	low := strings.ToLower(doc)
+	low := lowerASCII(doc)
 	pos := 0
 	for {
 		i := strings.Index(low[pos:], "<script")
@@ -64,6 +64,28 @@ func ExtractScripts(doc string) []Script {
 
 func isTagDelim(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' || c == '/'
+}
+
+// lowerASCII lowercases only ASCII letters, preserving byte offsets.
+// strings.ToLower would also fold multi-byte characters whose lower form
+// has a different encoded length (Ɱ→ɱ, K→k), desynchronising indices
+// computed on the lowered copy from the original document — tag names are
+// ASCII, so ASCII folding is all case-insensitivity requires.
+func lowerASCII(s string) string {
+	i := 0
+	for i < len(s) && (s[i] < 'A' || s[i] > 'Z') {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 // parseAttrs parses the attribute region of a tag.
@@ -132,7 +154,7 @@ func parseAttrs(s string) map[string]string {
 
 // ExtractTitle returns the document title, or "".
 func ExtractTitle(doc string) string {
-	low := strings.ToLower(doc)
+	low := lowerASCII(doc)
 	i := strings.Index(low, "<title")
 	if i < 0 {
 		return ""

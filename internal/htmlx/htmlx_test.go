@@ -132,3 +132,20 @@ func BenchmarkExtractScripts256K(b *testing.B) {
 		ExtractScripts(page)
 	}
 }
+
+func TestExtractScriptsSurvivesLengthChangingCaseFolds(t *testing.T) {
+	// Ɱ (U+2C6E, 3 bytes) lowercases to ɱ (U+0271, 2 bytes); K (U+212A)
+	// to k (1 byte). A scanner that indexes the original document with
+	// offsets computed on a strings.ToLower copy drifts after such runes
+	// and misparses everything behind them.
+	for _, noise := range []string{"Ɱ", "K", "ɱȾⱾ İİİ", "plain ascii PREFIX"} {
+		doc := noise + `<SCRIPT SRC="planted.js"></SCRIPT><title>T</title>`
+		scripts := ExtractScripts(doc)
+		if len(scripts) != 1 || scripts[0].Src != "planted.js" {
+			t.Errorf("noise %q: scripts = %+v, want one with src planted.js", noise, scripts)
+		}
+		if got := ExtractTitle(doc); got != "T" {
+			t.Errorf("noise %q: title = %q, want T", noise, got)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package parallel provides the bounded worker-pool primitive shared by
+// the miner fleet and the experiment ensemble runners.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for every i in [0, n), running at most workers
+// calls concurrently (workers < 1 means GOMAXPROCS). It returns once all
+// calls have finished. Results travel through whatever fn captures; with
+// one writer per index, no extra synchronisation is needed.
+func ForEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+}

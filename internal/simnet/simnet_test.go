@@ -70,6 +70,9 @@ func TestBlockRateApproximatesTarget(t *testing.T) {
 }
 
 func TestPoolShareConvergesToHashRateShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two virtual weeks of block arrivals")
+	}
 	sim, _, pool, net := newSimWorld(t, 5.5e6, 462e6, nil, 2)
 	net.Start()
 	sim.RunFor(14 * 24 * time.Hour)

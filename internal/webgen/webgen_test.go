@@ -52,6 +52,9 @@ func TestMinerRateApproximatesConfig(t *testing.T) {
 }
 
 func TestFamilyMixDominatedByCoinhive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zone-scale corpus statistics")
+	}
 	cfg := DefaultConfig(TLDOrg, 2_000_000, 3)
 	cfg.MinerWasmRate = 0.001 // boost so the mix is statistically stable
 	c := Generate(cfg)

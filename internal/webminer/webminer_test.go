@@ -226,3 +226,63 @@ func TestMineWithMultipleThreads(t *testing.T) {
 		t.Errorf("account = %+v", a)
 	}
 }
+
+func TestFleetResolvesLinksConcurrently(t *testing.T) {
+	srv, pool := startService(t)
+	const n = 12
+	tasks := make([]Task, n)
+	urls := make([]string, n)
+	for i := range tasks {
+		urls[i] = "https://example.org/file-" + itoa(i)
+		id := pool.Links().Create("fleet-creator", urls[i], 16) // two 8-hash shares
+		tasks[i] = Task{
+			URL:     wsEndpoint(srv, i%pool.NumEndpoints()),
+			SiteKey: "fleet-creator",
+			LinkID:  id,
+		}
+	}
+	f := &Fleet{Variant: cryptonight.Test, Workers: 4}
+	results := f.Run(tasks)
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("task %d: %v", i, r.Err)
+			continue
+		}
+		if r.Result.ResolvedURL != urls[i] {
+			t.Errorf("task %d resolved %q, want %q", i, r.Result.ResolvedURL, urls[i])
+		}
+	}
+	st := pool.StatsSnapshot()
+	if st.SharesOK < 2*n {
+		t.Errorf("pool accepted %d shares, want >= %d", st.SharesOK, 2*n)
+	}
+}
+
+func TestFleetMinesSharesAcrossSites(t *testing.T) {
+	srv, pool := startService(t)
+	tasks := []Task{
+		{URL: wsEndpoint(srv, 0), SiteKey: "fleet-a", WantShares: 2},
+		{URL: wsEndpoint(srv, 7), SiteKey: "fleet-b", WantShares: 3},
+		{URL: wsEndpoint(srv, 31), SiteKey: "fleet-a", WantShares: 1},
+	}
+	f := &Fleet{Variant: cryptonight.Test}
+	results := f.Run(tasks)
+	total := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", i, r.Err)
+		}
+		total += r.Result.SharesAccepted
+	}
+	if total != 6 {
+		t.Errorf("accepted %d shares, want 6", total)
+	}
+	a, _ := pool.AccountSnapshot("fleet-a")
+	b, _ := pool.AccountSnapshot("fleet-b")
+	if a.TotalHashes != 3*16 || b.TotalHashes != 3*16 {
+		t.Errorf("credits = %d/%d, want 48/48", a.TotalHashes, b.TotalHashes)
+	}
+}
