@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench
+.PHONY: all build vet test test-short test-race check bench bench-paper bench-submit
 
 all: build vet test-short
 
@@ -23,8 +23,18 @@ test-short:
 test-race:
 	$(GO) test -race ./internal/coinhive/... ./internal/webminer/...
 
-# Paper artefacts as benchmarks; -benchtime=1x regenerates each once.
+# CI gate: static checks plus the fast suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -short -race ./...
+
+# Core perf benchmarks (hash core, chain, simclock, pool, Fig5 day);
+# writes the machine-readable trajectory point to BENCH_core.json.
 bench:
+	$(GO) run ./cmd/bench -benchtime 1s -out BENCH_core.json
+
+# Paper artefacts as benchmarks; -benchtime=1x regenerates each once.
+bench-paper:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
 
 # Share-verification scaling curve (the sharded pool's headline number).

@@ -1,0 +1,127 @@
+// Command bench runs the repo's core performance benchmarks — the Keccak
+// hash core, the block-template and block-ID paths, the simulation clock,
+// pool share verification and one simulated Figure-5 day — and writes the
+// results to a JSON file (default BENCH_core.json). The committed file is
+// the perf trajectory: re-run after an optimisation and diff.
+//
+// The benchmark bodies live in internal/benchcore, shared with the
+// per-package `go test -bench` entry points, so this report measures
+// exactly what the test benchmarks measure.
+//
+// Usage:
+//
+//	bench [-benchtime 1s] [-out BENCH_core.json]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchcore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+// result is one benchmark row of the JSON report.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the BENCH_core.json document.
+type report struct {
+	Kind      string   `json:"kind"`
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []result `json:"results"`
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func coreBenchmarks() []namedBench {
+	return []namedBench{
+		{"keccak/permute", benchcore.KeccakPermute},
+		{"keccak/sum256-76B", benchcore.KeccakSum256},
+		{"blockchain/new-template", benchcore.NewTemplate},
+		{"blockchain/block-id", benchcore.BlockID},
+		{"blockchain/append-unchecked", benchcore.AppendUnchecked},
+		{"simclock/schedule-pop", benchcore.SchedulePop},
+		{"coinhive/submit-share", benchcore.SubmitShare},
+		{"poolwatch/poll-all-endpoints", benchcore.PollAllEndpoints},
+		{"experiments/fig5-day", benchcore.Fig5Day},
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	benchtime := fs.Duration("benchtime", time.Second, "target run time per benchmark")
+	outPath := fs.String("out", "BENCH_core.json", "JSON report path (empty: stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// testing.Benchmark sizes b.N from the -test.benchtime flag; register
+	// the testing flags and set it so our -benchtime takes effect.
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		return err
+	}
+
+	rep := report{
+		Kind:      "bench-core",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, b := range coreBenchmarks() {
+		r := testing.Benchmark(b.fn)
+		row := result{
+			Name:        b.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, row)
+		fmt.Fprintf(out, "%-32s %12.1f ns/op %8d B/op %6d allocs/op  (n=%d)\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.Iterations)
+	}
+
+	if *outPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every core benchmark once")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-benchtime", "1ms", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != "bench-core" || len(rep.Results) != len(coreBenchmarks()) {
+		t.Fatalf("report = kind %q with %d results, want bench-core/%d",
+			rep.Kind, len(rep.Results), len(coreBenchmarks()))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s: implausible row %+v", r.Name, r)
+		}
+	}
+	if !strings.Contains(buf.String(), "keccak/permute") {
+		t.Error("human-readable table missing benchmark rows")
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -53,9 +53,20 @@ type Block struct {
 func (b *Block) NumTransactions() int { return 1 + len(b.TxHashes) }
 
 // MerkleRoot computes the CryptoNote tree hash over the coinbase hash
-// followed by the included transaction hashes.
+// followed by the included transaction hashes. The common simulation case —
+// a coinbase-only block — reduces to the coinbase hash with no allocation;
+// small transaction sets gather their leaves on the stack.
 func (b *Block) MerkleRoot() [32]byte {
-	leaves := make([]merkle.Hash, 0, b.NumTransactions())
+	if len(b.TxHashes) == 0 {
+		return b.Coinbase.Hash()
+	}
+	var stack [8]merkle.Hash
+	var leaves []merkle.Hash
+	if n := b.NumTransactions(); n <= len(stack) {
+		leaves = stack[:0]
+	} else {
+		leaves = make([]merkle.Hash, 0, n)
+	}
 	leaves = append(leaves, b.Coinbase.Hash())
 	leaves = append(leaves, b.TxHashes...)
 	return merkle.TreeHash(leaves)
@@ -65,17 +76,43 @@ func (b *Block) MerkleRoot() [32]byte {
 // transaction count. This is exactly the "PoW Input" of the paper's
 // Figure 1 and the blob that pools push to web miners as jobs.
 func (b *Block) HashingBlob() []byte {
-	dst := b.Header.appendHeader(make([]byte, 0, 128))
-	root := b.MerkleRoot()
+	return b.AppendHashingBlob(make([]byte, 0, 128))
+}
+
+// AppendHashingBlob appends the PoW input to dst, reusing its capacity; the
+// pool's template refresh and the chain's append path pass scratch buffers
+// so the hot path allocates nothing.
+func (b *Block) AppendHashingBlob(dst []byte) []byte {
+	return b.appendBlobWithRoot(dst, b.MerkleRoot())
+}
+
+// appendBlobWithRoot serialises the PoW input given an already-computed
+// Merkle root, letting callers that also cache the root pay for it once.
+func (b *Block) appendBlobWithRoot(dst []byte, root [32]byte) []byte {
+	dst = b.Header.appendHeader(dst)
 	dst = append(dst, root[:]...)
 	return varint.Append(dst, uint64(b.NumTransactions()))
 }
 
+// maxBlobSize bounds a serialised hashing blob: three max-width varints,
+// prev hash, nonce, Merkle root and the tx-count varint. Stack buffers of
+// this size make ID computation allocation-free.
+const maxBlobSize = 10 + 10 + 10 + 32 + 4 + 32 + 10
+
 // ID returns the block identifier: Keccak-256 over the hashing blob
-// prefixed with its length (as Monero's get_block_hash does).
+// prefixed with its length (as Monero's get_block_hash does). The blob is
+// built in a stack buffer, so computing an ID allocates nothing.
 func (b *Block) ID() [32]byte {
-	blob := b.HashingBlob()
-	pre := varint.Append(make([]byte, 0, len(blob)+2), uint64(len(blob)))
+	var buf [maxBlobSize]byte
+	return IDFromBlob(b.AppendHashingBlob(buf[:0]))
+}
+
+// IDFromBlob hashes a prepared hashing blob into its block identifier.
+// Callers that already hold the blob (the chain's append path, the §4.2
+// watcher) skip re-serialising the block.
+func IDFromBlob(blob []byte) [32]byte {
+	var buf [maxBlobSize + 2]byte
+	pre := varint.Append(buf[:0], uint64(len(blob)))
 	return keccak.Sum256(append(pre, blob...))
 }
 

@@ -3,7 +3,7 @@ package blockchain
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cryptonight"
@@ -23,17 +23,79 @@ var (
 	ErrKnownBlock   = errors.New("blockchain: block already in chain")
 )
 
-// Chain is a verifying, append-only block store.
+// Chain is a verifying, append-only block store. Each block's identifier
+// and Merkle root are computed exactly once, at append time, and cached by
+// height; every later consumer (tip polling, successor lookups, the §4.2
+// watcher's root comparison) reads the cache instead of re-hashing.
 type Chain struct {
 	mu        sync.RWMutex
 	params    Params
 	blocks    []*Block
 	index     map[[32]byte]uint64 // block ID -> height
+	ids       [][32]byte          // cached block IDs by height
+	roots     [][32]byte          // cached Merkle roots by height
 	diffs     []uint64            // per-block difficulty at acceptance
 	cumDiff   []uint64            // cumulative difficulty
 	generated uint64              // atomic units emitted so far
 	tipID     [32]byte            // cached ID of blocks[len-1]
+	nextDiff  uint64              // cached next-block difficulty
+	scratch   []byte              // hashing-blob scratch, reused under mu
+	tsScratch []uint64            // retarget/median scratch, reused under mu
 	hasher    *cryptonight.Hasher
+
+	subMu  sync.Mutex
+	subSeq int
+	subs   []tipSub // copy-on-write: rebuilt on (un)subscribe, never mutated
+}
+
+// TipListener is notified after a block lands, with the new tip ID and its
+// height. Listeners run synchronously on the appending goroutine, after the
+// chain lock is released; they may read the chain and schedule work but
+// must not block indefinitely.
+type TipListener func(tip [32]byte, height uint64)
+
+type tipSub struct {
+	id int
+	fn TipListener
+}
+
+// Subscribe registers a tip-change listener and returns its removal
+// function. This is the event-driven alternative to polling TipID: the
+// simulation watcher does work per block instead of per clock tick.
+func (c *Chain) Subscribe(fn TipListener) (unsubscribe func()) {
+	c.subMu.Lock()
+	c.subSeq++
+	id := c.subSeq
+	next := make([]tipSub, 0, len(c.subs)+1)
+	next = append(next, c.subs...)
+	c.subs = append(next, tipSub{id: id, fn: fn})
+	c.subMu.Unlock()
+	return func() {
+		c.subMu.Lock()
+		next := make([]tipSub, 0, len(c.subs))
+		for _, s := range c.subs {
+			if s.id != id {
+				next = append(next, s)
+			}
+		}
+		c.subs = next
+		c.subMu.Unlock()
+	}
+}
+
+// notifyTip invokes listeners outside every chain lock. The subscriber
+// slice is copy-on-write, so grabbing the current snapshot costs a field
+// read and notifying allocates nothing per block. With concurrent appenders
+// the per-listener delivery order follows append order only as closely as
+// goroutine scheduling allows; the discrete-event simulation is
+// single-threaded, where delivery is deterministic.
+func (c *Chain) notifyTip(tip [32]byte, height uint64) {
+	c.subMu.Lock()
+	subs := c.subs
+	c.subMu.Unlock()
+	for _, s := range subs {
+		s.fn(tip, height)
+	}
 }
 
 // NewChain creates a chain holding only a genesis block with the given
@@ -52,12 +114,16 @@ func NewChain(p Params, genesisTimestamp uint64, to Address) (*Chain, error) {
 		},
 		Coinbase: NewCoinbase(p.BaseReward(0), to, 0, []byte("genesis")),
 	}
+	root := g.MerkleRoot()
 	c.blocks = append(c.blocks, g)
 	c.tipID = g.ID()
 	c.index[c.tipID] = 0
+	c.ids = append(c.ids, c.tipID)
+	c.roots = append(c.roots, root)
 	c.diffs = append(c.diffs, 1)
 	c.cumDiff = append(c.cumDiff, 1)
 	c.generated = g.Coinbase.Amount
+	c.nextDiff = c.recomputeDifficultyLocked()
 	return c, nil
 }
 
@@ -140,28 +206,81 @@ func (c *Chain) SuccessorOf(id [32]byte) (*Block, bool) {
 	return c.blocks[h+1], true
 }
 
-// NextDifficulty returns the difficulty required of the next block.
+// SuccessorInfo is the append-time-cached summary of the block mined on top
+// of a given block: everything the §4.2 attribution sweep needs, with no
+// hashing.
+type SuccessorInfo struct {
+	Height    uint64
+	Timestamp uint64
+	Reward    uint64
+	ID        [32]byte
+	Root      [32]byte
+}
+
+// SuccessorInfoOf is SuccessorOf without the re-hashing: the successor's ID
+// and Merkle root come from the chain's append-time cache.
+func (c *Chain) SuccessorInfoOf(id [32]byte) (SuccessorInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.index[id]
+	if !ok || h+1 >= uint64(len(c.blocks)) {
+		return SuccessorInfo{}, false
+	}
+	succ := c.blocks[h+1]
+	return SuccessorInfo{
+		Height:    h + 1,
+		Timestamp: succ.Timestamp,
+		Reward:    succ.Coinbase.Amount,
+		ID:        c.ids[h+1],
+		Root:      c.roots[h+1],
+	}, true
+}
+
+// IDByHeight returns the cached identifier of the block at height h.
+func (c *Chain) IDByHeight(h uint64) ([32]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if h >= uint64(len(c.ids)) {
+		return [32]byte{}, false
+	}
+	return c.ids[h], true
+}
+
+// NextDifficulty returns the difficulty required of the next block. The
+// value only changes when a block lands, so it is computed once per append
+// and served from cache here — callers on the share-verification hot path
+// (one NextDifficulty per submitted share) pay a field read, not an
+// O(window) retarget.
 func (c *Chain) NextDifficulty() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.nextDifficultyLocked()
+	return c.nextDiff
 }
 
-func (c *Chain) nextDifficultyLocked() uint64 {
+// recomputeDifficultyLocked runs the windowed retarget over scratch buffers.
+// The caller holds the write lock.
+func (c *Chain) recomputeDifficultyLocked() uint64 {
 	// Only the trailing retarget window matters; materialising every
-	// timestamp since genesis would make each call — and there are a few
-	// per block — O(chain length).
+	// timestamp since genesis would make each call O(chain length).
 	n := len(c.blocks)
 	start := 0
 	if n > c.params.DifficultyWindow {
 		start = n - c.params.DifficultyWindow
 	}
-	ts := make([]uint64, n-start)
+	ts := c.timestampScratchLocked(n - start)
 	for i := start; i < n; i++ {
 		ts[i-start] = c.blocks[i].Timestamp
 	}
-	return NextDifficulty(ts, c.cumDiff[start:], uint64(c.params.TargetBlockTime.Seconds()),
+	return nextDifficulty(ts, c.cumDiff[start:], uint64(c.params.TargetBlockTime.Seconds()),
 		c.params.DifficultyWindow, c.params.DifficultyCut, c.params.MinDifficulty)
+}
+
+// timestampScratchLocked returns an n-length reusable uint64 buffer.
+func (c *Chain) timestampScratchLocked(n int) []uint64 {
+	if cap(c.tsScratch) < n {
+		c.tsScratch = make([]uint64, 0, n+n/2)
+	}
+	return c.tsScratch[:n]
 }
 
 // DifficultyOf returns the difficulty the block at height h was held to.
@@ -201,60 +320,28 @@ func (c *Chain) NewTemplate(timestamp uint64, to Address, extra []byte, txHashes
 }
 
 // medianTimestampLocked returns the median of the trailing
-// TimestampMedianWindow block timestamps.
+// TimestampMedianWindow block timestamps. The caller holds the write lock.
 func (c *Chain) medianTimestampLocked() uint64 {
 	n := len(c.blocks)
 	w := TimestampMedianWindow
 	if n < w {
 		w = n
 	}
-	ts := make([]uint64, w)
+	ts := c.timestampScratchLocked(w)
 	for i := 0; i < w; i++ {
 		ts[i] = c.blocks[n-w+i].Timestamp
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	slices.Sort(ts)
 	return ts[len(ts)/2]
 }
 
 // Append verifies b against consensus rules and extends the chain.
 func (c *Chain) Append(b *Block) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
-	if b.MajorVersion != c.params.MajorVersion || b.MinorVersion != c.params.MinorVersion {
-		return ErrBadVersion
+	tip, height, err := c.append(b, true)
+	if err != nil {
+		return err
 	}
-	if b.PrevHash != c.tipID {
-		return ErrBadPrev
-	}
-	if _, dup := c.index[b.ID()]; dup {
-		return ErrKnownBlock
-	}
-	if len(c.blocks) > 1 && b.Timestamp <= c.medianTimestampLocked() {
-		return ErrBadTimestamp
-	}
-	if !b.Coinbase.Coinbase {
-		return fmt.Errorf("%w: first transaction not a coinbase", ErrBadCoinbase)
-	}
-	// Simulated mempool transactions are fee-less, so the coinbase must
-	// claim exactly the emission-curve reward (the paper likewise sums
-	// block rewards when computing Coinhive's XMR turnover).
-	if want := c.params.BaseReward(c.generated); b.Coinbase.Amount != want {
-		return fmt.Errorf("%w: claims %d, want %d", ErrBadCoinbase, b.Coinbase.Amount, want)
-	}
-	diff := c.nextDifficultyLocked()
-	pow := c.hasher.Sum(b.HashingBlob())
-	if !cryptonight.CheckDifficulty(pow, diff) {
-		return fmt.Errorf("%w (difficulty %d)", ErrBadPoW, diff)
-	}
-
-	height := uint64(len(c.blocks))
-	c.blocks = append(c.blocks, b)
-	c.tipID = b.ID()
-	c.index[c.tipID] = height
-	c.diffs = append(c.diffs, diff)
-	c.cumDiff = append(c.cumDiff, c.cumDiff[len(c.cumDiff)-1]+diff)
-	c.generated += b.Coinbase.Amount
+	c.notifyTip(tip, height)
 	return nil
 }
 
@@ -264,23 +351,65 @@ func (c *Chain) Append(b *Block) error {
 // than hashed (hashing half a million simulated strangers' blocks would
 // dominate runtime without changing any measured quantity).
 func (c *Chain) AppendUnchecked(b *Block) error {
+	tip, height, err := c.append(b, false)
+	if err != nil {
+		return err
+	}
+	c.notifyTip(tip, height)
+	return nil
+}
+
+// append validates and links b under the chain lock. The block's Merkle
+// root and ID are computed exactly once, into a reusable scratch buffer,
+// and cached for every later consumer.
+func (c *Chain) append(b *Block, verifyPoW bool) (tip [32]byte, height uint64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if verifyPoW && (b.MajorVersion != c.params.MajorVersion || b.MinorVersion != c.params.MinorVersion) {
+		return tip, 0, ErrBadVersion
+	}
 	if b.PrevHash != c.tipID {
-		return ErrBadPrev
+		return tip, 0, ErrBadPrev
 	}
-	if _, dup := c.index[b.ID()]; dup {
-		return ErrKnownBlock
+	root := b.MerkleRoot()
+	c.scratch = b.appendBlobWithRoot(c.scratch[:0], root)
+	id := IDFromBlob(c.scratch)
+	if _, dup := c.index[id]; dup {
+		return tip, 0, ErrKnownBlock
 	}
-	diff := c.nextDifficultyLocked()
-	height := uint64(len(c.blocks))
+	if verifyPoW {
+		if len(c.blocks) > 1 && b.Timestamp <= c.medianTimestampLocked() {
+			return tip, 0, ErrBadTimestamp
+		}
+		if !b.Coinbase.Coinbase {
+			return tip, 0, fmt.Errorf("%w: first transaction not a coinbase", ErrBadCoinbase)
+		}
+		// Simulated mempool transactions are fee-less, so the coinbase must
+		// claim exactly the emission-curve reward (the paper likewise sums
+		// block rewards when computing Coinhive's XMR turnover).
+		if want := c.params.BaseReward(c.generated); b.Coinbase.Amount != want {
+			return tip, 0, fmt.Errorf("%w: claims %d, want %d", ErrBadCoinbase, b.Coinbase.Amount, want)
+		}
+	}
+	diff := c.nextDiff
+	if verifyPoW {
+		pow := c.hasher.Sum(c.scratch)
+		if !cryptonight.CheckDifficulty(pow, diff) {
+			return tip, 0, fmt.Errorf("%w (difficulty %d)", ErrBadPoW, diff)
+		}
+	}
+
+	height = uint64(len(c.blocks))
 	c.blocks = append(c.blocks, b)
-	c.tipID = b.ID()
-	c.index[c.tipID] = height
+	c.tipID = id
+	c.index[id] = height
+	c.ids = append(c.ids, id)
+	c.roots = append(c.roots, root)
 	c.diffs = append(c.diffs, diff)
 	c.cumDiff = append(c.cumDiff, c.cumDiff[len(c.cumDiff)-1]+diff)
 	c.generated += b.Coinbase.Amount
-	return nil
+	c.nextDiff = c.recomputeDifficultyLocked()
+	return id, height, nil
 }
 
 // Blocks returns blocks in the half-open height interval [from, to).

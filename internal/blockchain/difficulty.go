@@ -2,7 +2,7 @@ package blockchain
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 )
 
 // NextDifficulty implements the Monero-style windowed retarget: take the
@@ -14,6 +14,13 @@ import (
 // difficulty is the sum of all block difficulties up to and including that
 // block. target is the desired seconds per block.
 func NextDifficulty(timestamps []uint64, cumulative []uint64, target uint64, window, cut int, minDiff uint64) uint64 {
+	return nextDifficulty(append([]uint64(nil), timestamps...), cumulative, target, window, cut, minDiff)
+}
+
+// nextDifficulty is NextDifficulty for callers that own the timestamp slice
+// and allow it to be sorted in place; the chain's append path passes a
+// reusable scratch buffer here so a retarget allocates nothing.
+func nextDifficulty(timestamps []uint64, cumulative []uint64, target uint64, window, cut int, minDiff uint64) uint64 {
 	n := len(timestamps)
 	if n != len(cumulative) {
 		panic("blockchain: timestamps/cumulative length mismatch")
@@ -26,8 +33,8 @@ func NextDifficulty(timestamps []uint64, cumulative []uint64, target uint64, win
 		cumulative = cumulative[n-window:]
 		n = window
 	}
-	ts := append([]uint64(nil), timestamps...)
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	ts := timestamps
+	slices.Sort(ts)
 
 	lo, hi := 0, n-1
 	if n > 2*cut+2 {

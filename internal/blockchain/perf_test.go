@@ -1,0 +1,61 @@
+package blockchain_test
+
+import (
+	"testing"
+
+	"repro/internal/benchcore"
+	"repro/internal/blockchain"
+)
+
+// The benchmark bodies live in internal/benchcore, shared with cmd/bench so
+// the committed BENCH_core.json measures exactly these workloads.
+
+// BenchmarkNewTemplate measures the full per-slot cost a pool pays on a tip
+// change: assembling the template and deriving its hashing blob.
+func BenchmarkNewTemplate(b *testing.B) { benchcore.NewTemplate(b) }
+
+// BenchmarkBlockID measures block-identifier hashing, the dominant Keccak
+// consumer on the append path.
+func BenchmarkBlockID(b *testing.B) { benchcore.BlockID(b) }
+
+// BenchmarkAppendUnchecked measures the simulation's background-miner block
+// path end to end (template, dup check, ID computation, bookkeeping).
+func BenchmarkAppendUnchecked(b *testing.B) { benchcore.AppendUnchecked(b) }
+
+// Block-ID hashing is the dominant Keccak consumer on the append path; the
+// perf contract on the 1-CPU CI box is structural: zero allocations per ID.
+func TestBlockIDAllocatesNothing(t *testing.T) {
+	c := benchcore.NewBenchChain(t)
+	blk := c.NewTemplate(1524710000, blockchain.AddressFromString("pool"), []byte{1, 2, 3}, nil)
+	if avg := testing.AllocsPerRun(200, func() { blk.ID() }); avg != 0 {
+		t.Errorf("Block.ID: %.1f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { blk.Coinbase.Hash() }); avg != 0 {
+		t.Errorf("Transaction.Hash: %.1f allocs/op, want 0", avg)
+	}
+	var blob []byte
+	blob = blk.AppendHashingBlob(blob[:0]) // warm the scratch
+	if avg := testing.AllocsPerRun(200, func() { blob = blk.AppendHashingBlob(blob[:0]) }); avg != 0 {
+		t.Errorf("AppendHashingBlob into scratch: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// The append path must reuse its serialisation and retarget scratch: at
+// steady state an AppendUnchecked performs a bounded number of small
+// allocations (the template handed in aside), independent of chain length.
+func TestAppendSteadyStateAllocsBounded(t *testing.T) {
+	c := benchcore.NewBenchChain(t)
+	ts := uint64(1524710000)
+	avg := testing.AllocsPerRun(100, func() {
+		ts += 120
+		b := c.NewTemplate(ts, blockchain.AddressFromString("bg"),
+			[]byte{byte(ts), byte(ts >> 8), byte(ts >> 16), byte(ts >> 24)}, nil)
+		if err := c.AppendUnchecked(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Template + coinbase extra + amortised growth of the per-height slices.
+	if avg > 8 {
+		t.Errorf("AppendUnchecked steady state: %.1f allocs/op, want ≤ 8", avg)
+	}
+}

@@ -130,8 +130,11 @@ func DeserializeTransaction(buf []byte) (Transaction, []byte, error) {
 }
 
 // Hash returns the transaction identifier (Keccak-256 of the wire form).
+// Typical transactions (coinbases with a short tx_extra) serialise into a
+// stack buffer, keeping the template and block-ID hot paths allocation-free.
 func (t Transaction) Hash() [32]byte {
-	return keccak.Sum256(t.Serialize(nil))
+	var buf [128]byte
+	return keccak.Sum256(t.Serialize(buf[:0]))
 }
 
 // Equal reports deep equality.

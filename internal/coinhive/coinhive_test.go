@@ -156,6 +156,32 @@ func TestJobTopology(t *testing.T) {
 	}
 }
 
+func TestJobIDCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		backend int
+		seq     uint32
+		slot    int
+		link    bool
+	}{
+		{0, 1, 0, false},
+		{15, 4294967295, 7, false},
+		{3, 42, 5, true},
+		{9, 0, 1, true},
+	}
+	for _, c := range cases {
+		id := makeJobID(c.backend, c.seq, c.slot, c.link)
+		b, seq, slot, link, ok := parseJobID(id)
+		if !ok || b != c.backend || seq != c.seq || slot != c.slot || link != c.link {
+			t.Errorf("round trip %+v via %q -> (%d,%d,%d,%v,%v)", c, id, b, seq, slot, link, ok)
+		}
+	}
+	for _, bad := range []string{"", "-", "1-", "1-2", "x-1-2", "1-x-2", "1-2-x", "99999", "-1-2-3", "1-2--L"} {
+		if _, _, _, _, ok := parseJobID(bad); ok {
+			t.Errorf("parseJobID(%q) accepted malformed ID", bad)
+		}
+	}
+}
+
 func TestJobBlobIsObfuscated(t *testing.T) {
 	pool := newTestPool(t, 16)
 	j := pool.Job(0, 0, false)
@@ -248,6 +274,15 @@ func TestSubmitShareRejectsForgeries(t *testing.T) {
 	// Unknown job.
 	if _, err := pool.SubmitShare("t", "99999", nonce, sum, ""); err != ErrUnknownJob {
 		t.Errorf("unknown job: err = %v", err)
+	}
+	// Self-elected link tier: the difficulty class is pinned when the pool
+	// mints the job, so suffixing "-L" onto a normal ID must not resolve.
+	if _, err := pool.SubmitShare("t", j.JobID+"-L", nonce, sum, ""); err != ErrUnknownJob {
+		t.Errorf("forged link suffix: err = %v", err)
+	}
+	// Well-formed but never-minted ID (wrong generation for the slot).
+	if _, err := pool.SubmitShare("t", "0-999999-0", nonce, sum, ""); err != ErrUnknownJob {
+		t.Errorf("fabricated generation: err = %v", err)
 	}
 	// Replay after tip change: force a new tip via ProduceWinningBlock.
 	if _, err := pool.ProduceWinningBlock(1_525_000_300, 0, 7); err != nil {

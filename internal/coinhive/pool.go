@@ -104,25 +104,22 @@ var (
 	ErrUnknownToken = errors.New("coinhive: unknown site key")
 )
 
-type jobRef struct {
-	backend  int
-	slot     int
-	tip      [32]byte
-	linkDiff bool
-}
-
 // backendShard is one backend system's template and job state. Each shard
 // refreshes lazily on its next access after the chain tip moves, so a tip
-// change never stalls the other 15 backends.
+// change never stalls the other 15 backends. All per-slot storage is
+// allocated once and overwritten in place on refresh, so the steady-state
+// refresh cost is the 8 coinbase hashes the topology demands — plus one
+// wire-blob hex string per slot, the only thing handed out by reference.
 type backendShard struct {
 	mu         sync.RWMutex
 	tip        [32]byte
 	refreshSeq uint32
-	jobSeq     uint64
 	templates  []*blockchain.Block // [slot]
 	blobs      [][]byte            // cached hashing blobs per template
 	jobBlobHex []string            // cached obfuscated wire blobs
-	jobs       map[string]jobRef
+	jobIDs     []string            // per-slot wire job IDs for this refresh
+	linkJobIDs []string            // per-slot link-difficulty IDs, built on demand
+	wire       []byte              // obfuscation scratch
 }
 
 // accountStripe holds the accounts (and this round's hash credit) for the
@@ -147,6 +144,12 @@ type Pool struct {
 
 	links    *LinkStore
 	captchas *CaptchaService
+
+	// targetHex and linkTargetHex are the wire encodings of the two share
+	// targets; they depend only on the pool configuration, so encoding them
+	// once keeps Job() off the hex/alloc path entirely.
+	targetHex     string
+	linkTargetHex string
 
 	sharesOK  atomic.Uint64
 	sharesBad atomic.Uint64
@@ -185,10 +188,18 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		p.stripes[i].accts = map[string]*Account{}
 		p.stripes[i].round = map[string]uint64{}
 	}
+	p.targetHex = stratum.EncodeTarget(cryptonight.DifficultyForTarget(cfg.ShareDifficulty))
+	p.linkTargetHex = stratum.EncodeTarget(cryptonight.DifficultyForTarget(cfg.LinkShareDifficulty))
 	tip := cfg.Chain.TipID()
 	p.backends = make([]*backendShard, cfg.NumBackends)
 	for b := range p.backends {
-		sh := &backendShard{}
+		sh := &backendShard{
+			templates:  make([]*blockchain.Block, cfg.TemplatesPerBackend),
+			blobs:      make([][]byte, cfg.TemplatesPerBackend),
+			jobBlobHex: make([]string, cfg.TemplatesPerBackend),
+			jobIDs:     make([]string, cfg.TemplatesPerBackend),
+			linkJobIDs: make([]string, cfg.TemplatesPerBackend),
+		}
 		p.refreshShardLocked(sh, b, tip)
 		p.backends[b] = sh
 	}
@@ -223,23 +234,53 @@ func (p *Pool) BackendOfEndpoint(endpoint int) int {
 	return endpoint % p.cfg.NumBackends
 }
 
-// jobID encodes the owning backend into the wire job identifier so a
-// submitted share routes straight to its shard without a global lookup.
-func jobID(backend int, seq uint64) string {
-	return strconv.Itoa(backend) + "-" + strconv.FormatUint(seq, 10)
+// makeJobID encodes the owning backend, the shard's refresh generation and
+// the template slot into the wire job identifier ("backend-seq-slot", with a
+// "-L" suffix for link-difficulty jobs). A share routes straight to its
+// shard and slot without any per-job lookup table, and the generation makes
+// identifiers from before a tip change unresolvable — the stale-job
+// rejection the per-job map used to provide. IDs are minted once per shard
+// refresh, not once per poll.
+func makeJobID(backend int, seq uint32, slot int, link bool) string {
+	var buf [28]byte
+	b := strconv.AppendUint(buf[:0], uint64(backend), 10)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, uint64(seq), 10)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, uint64(slot), 10)
+	if link {
+		b = append(b, '-', 'L')
+	}
+	return string(b)
 }
 
-// backendOfJobID recovers the shard index from a wire job identifier.
-func backendOfJobID(id string) (int, bool) {
+// parseJobID inverts makeJobID.
+func parseJobID(id string) (backend int, seq uint32, slot int, link bool, ok bool) {
+	if strings.HasSuffix(id, "-L") {
+		link = true
+		id = id[:len(id)-2]
+	}
 	i := strings.IndexByte(id, '-')
 	if i <= 0 {
-		return 0, false
+		return 0, 0, 0, false, false
+	}
+	j := strings.LastIndexByte(id, '-')
+	if j <= i {
+		return 0, 0, 0, false, false
 	}
 	b, err := strconv.Atoi(id[:i])
 	if err != nil || b < 0 {
-		return 0, false
+		return 0, 0, 0, false, false
 	}
-	return b, true
+	s64, err := strconv.ParseUint(id[i+1:j], 10, 32)
+	if err != nil {
+		return 0, 0, 0, false, false
+	}
+	s, err := strconv.Atoi(id[j+1:])
+	if err != nil || s < 0 {
+		return 0, 0, 0, false, false
+	}
+	return b, uint32(s64), s, link, true
 }
 
 // refreshShardLocked rebuilds one backend's PoW inputs on a new tip. The
@@ -248,28 +289,24 @@ func (p *Pool) refreshShardLocked(sh *backendShard, backend int, tip [32]byte) {
 	sh.tip = tip
 	sh.refreshSeq++
 	ts := uint64(p.cfg.Clock.Now().Unix())
-	sh.templates = make([]*blockchain.Block, p.cfg.TemplatesPerBackend)
-	sh.blobs = make([][]byte, p.cfg.TemplatesPerBackend)
-	sh.jobBlobHex = make([]string, p.cfg.TemplatesPerBackend)
-	// Jobs issued against the previous tip can never verify again; drop
-	// them rather than letting the map grow for the chain's lifetime.
-	sh.jobs = map[string]jobRef{}
 	for s := range sh.templates {
-		extra := make([]byte, 8)
+		var extra [8]byte
 		extra[0] = 0xC4 // pool tag
 		extra[1] = byte(backend)
 		extra[2] = byte(s)
 		binary.LittleEndian.PutUint32(extra[4:], sh.refreshSeq)
-		tmpl := p.cfg.Chain.NewTemplate(ts, p.cfg.Wallet, extra, nil)
+		tmpl := p.cfg.Chain.NewTemplate(ts, p.cfg.Wallet, extra[:], nil)
 		sh.templates[s] = tmpl
 		// The blob (and its embedded Merkle root) is fixed for the
 		// template's lifetime; caching it keeps the watcher's polling
-		// loop and the verify path off the Keccak hot path.
-		blob := tmpl.HashingBlob()
-		sh.blobs[s] = blob
-		wire := append([]byte(nil), blob...)
-		stratum.ObfuscateBlob(wire)
-		sh.jobBlobHex[s] = stratum.EncodeBlob(wire)
+		// loop and the verify path off the Keccak hot path. The slot's
+		// buffers are reused across refreshes.
+		sh.blobs[s] = tmpl.AppendHashingBlob(sh.blobs[s][:0])
+		sh.wire = append(sh.wire[:0], sh.blobs[s]...)
+		stratum.ObfuscateBlob(sh.wire)
+		sh.jobBlobHex[s] = stratum.EncodeBlob(sh.wire)
+		sh.jobIDs[s] = makeJobID(backend, sh.refreshSeq, s, false)
+		sh.linkJobIDs[s] = "" // minted on the first link job of this refresh
 	}
 }
 
@@ -327,29 +364,27 @@ func (p *Pool) Job(endpoint, slot int, forLink bool) stratum.Job {
 	b := p.BackendOfEndpoint(endpoint)
 	sh := p.backends[b]
 	s := ((slot % p.cfg.TemplatesPerBackend) + p.cfg.TemplatesPerBackend) % p.cfg.TemplatesPerBackend
-	diff := p.cfg.ShareDifficulty
-	if forLink {
-		diff = p.cfg.LinkShareDifficulty
-	}
+	target := p.targetHex
 	sh.mu.Lock()
 	if tip := p.cfg.Chain.TipID(); sh.tip != tip {
 		p.refreshShardLocked(sh, b, tip)
 	}
-	sh.jobSeq++
-	id := jobID(b, sh.jobSeq)
-	sh.jobs[id] = jobRef{backend: b, slot: s, tip: sh.tip, linkDiff: forLink}
+	id := sh.jobIDs[s]
+	if forLink {
+		if sh.linkJobIDs[s] == "" {
+			sh.linkJobIDs[s] = makeJobID(b, sh.refreshSeq, s, true)
+		}
+		id = sh.linkJobIDs[s]
+		target = p.linkTargetHex
+	}
 	blobHex := sh.jobBlobHex[s]
 	sh.mu.Unlock()
-	return stratum.Job{
-		JobID:  id,
-		Blob:   blobHex,
-		Target: stratum.EncodeTarget(cryptonight.DifficultyForTarget(diff)),
-	}
+	return stratum.Job{JobID: id, Blob: blobHex, Target: target}
 }
 
 // shareDiffOf returns the hash credit for a job.
-func (p *Pool) shareDiffOf(ref jobRef) uint64 {
-	if ref.linkDiff {
+func (p *Pool) shareDiffOf(link bool) uint64 {
+	if link {
 		return p.cfg.LinkShareDifficulty
 	}
 	return p.cfg.ShareDifficulty
@@ -376,22 +411,32 @@ type ShareOutcome struct {
 // concurrent submitters verify in parallel.
 func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, linkID string) (ShareOutcome, error) {
 	var out ShareOutcome
-	b, ok := backendOfJobID(jobID)
-	if !ok || b >= len(p.backends) {
+	b, _, slot, link, ok := parseJobID(jobID)
+	if !ok || b >= len(p.backends) || slot >= p.cfg.TemplatesPerBackend {
 		p.sharesBad.Add(1)
 		return out, ErrUnknownJob
 	}
 	sh := p.backends[b]
 	tip := p.cfg.Chain.TipID()
 	var (
-		ref  jobRef
 		tmpl *blockchain.Block
+		bbuf [128]byte // hashing blobs fit; keeps the verify path alloc-free
 		blob []byte
 	)
 	sh.mu.RLock()
-	if ref, ok = sh.jobs[jobID]; ok && ref.tip == tip {
-		tmpl = sh.templates[ref.slot]
-		blob = append([]byte(nil), sh.blobs[ref.slot]...)
+	// The submitted ID must equal the ID this refresh actually minted for
+	// the slot (link IDs are minted lazily, so an un-issued link ID is the
+	// empty string and never matches) and the shard must still be on the
+	// chain tip. Together these reproduce what the per-job lookup table
+	// enforced: only issued, non-stale jobs resolve, and the difficulty
+	// tier is pinned at issue time, not chosen by the submitter.
+	minted := sh.jobIDs[slot]
+	if link {
+		minted = sh.linkJobIDs[slot]
+	}
+	if minted == jobID && sh.tip == tip {
+		tmpl = sh.templates[slot]
+		blob = append(bbuf[:0], sh.blobs[slot]...)
 	}
 	sh.mu.RUnlock()
 	if blob == nil {
@@ -407,7 +452,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 		p.sharesBad.Add(1)
 		return out, ErrBadShare
 	}
-	diff := p.shareDiffOf(ref)
+	diff := p.shareDiffOf(link)
 	if !cryptonight.CheckCompactTarget(result, cryptonight.DifficultyForTarget(diff)) {
 		p.sharesBad.Add(1)
 		return out, ErrLowShare
@@ -432,7 +477,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	}
 	p.settleMu.Lock()
 	defer p.settleMu.Unlock()
-	if ref.tip != p.cfg.Chain.TipID() {
+	if tip != p.cfg.Chain.TipID() {
 		// Another block landed while we verified; the share was valid work
 		// against its tip and stays credited, but it wins nothing.
 		return out, nil
@@ -445,7 +490,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 		}
 		return out, fmt.Errorf("coinhive: chain rejected our block: %w", err)
 	}
-	p.settleLocked(won, ref.backend)
+	p.settleLocked(won, b)
 	out.Block = won
 	return out, nil
 }

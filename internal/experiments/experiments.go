@@ -117,20 +117,26 @@ func NewWorld(start time.Time, poolRate, netRate float64, activity func(time.Tim
 // disruption. In June the userbase grows slightly (Table 6's 10 blocks/day
 // median).
 func CoinhiveActivity(t time.Time) float64 {
+	// Branch on numeric date components: this runs for every poll and every
+	// block arrival, and a time.Format here once dominated the simulation's
+	// allocation profile.
 	d := t.UTC()
-	day := d.Format("2006-01-02")
-	switch day {
-	case "2018-04-30", "2018-05-10", "2018-05-21", "2018-05-22":
-		return 1.5 // public holidays: more browsers open
-	case "2018-05-06":
-		return 0 // service disruption
-	case "2018-05-07":
-		if d.Hour() < 12 {
-			return 0 // disruption tail
+	year, month, day := d.Date()
+	if year == 2018 {
+		switch {
+		case month == time.April && day == 30,
+			month == time.May && (day == 10 || day == 21 || day == 22):
+			return 1.5 // public holidays: more browsers open
+		case month == time.May && day == 6:
+			return 0 // service disruption
+		case month == time.May && day == 7:
+			if d.Hour() < 12 {
+				return 0 // disruption tail
+			}
+			return 1
 		}
-		return 1
 	}
-	if d.Month() == time.June {
+	if month == time.June {
 		return 1.12
 	}
 	return 1.0

@@ -1,0 +1,14 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/benchcore"
+)
+
+// BenchmarkFig5Day runs one simulated day of the Figure 5 observation
+// campaign — network, pool, and watcher — per iteration. It is the
+// end-to-end number the hash-core and event-loop optimisations target, and
+// is cheap enough to stay -short-safe. The body lives in
+// internal/benchcore, shared with cmd/bench / BENCH_core.json.
+func BenchmarkFig5Day(b *testing.B) { benchcore.Fig5Day(b) }

@@ -1,6 +1,7 @@
 package poolwatch
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -164,6 +165,55 @@ func TestPartialEndpointCoverageLosesBlocks(t *testing.T) {
 	frac := float64(got) / float64(total)
 	if frac < 0.01 || frac > 0.20 {
 		t.Errorf("2-endpoint coverage attributed %.3f of blocks, want ~1/16", frac)
+	}
+}
+
+// TestEventDrivenRunMatchesTickLoopBitIdentical pins the event-driven Run
+// to the historical fixed-tick polling loop: two worlds with the same seed
+// evolve identically (the watcher never influences the simulation), so the
+// attributed blocks — and even the poll counters — must match exactly.
+func TestEventDrivenRunMatchesTickLoopBitIdentical(t *testing.T) {
+	const seed = 29
+	tick := 2 * time.Second
+
+	// Reference: the seed's O(ticks) loop, reconstructed verbatim.
+	simA, chainA, _, netA := newWorld(t, 50e6, 500e6, nil, seed)
+	wA := New(Config{Source: netA, Chain: chainA})
+	netA.Start()
+	var lastTip [32]byte
+	stopA := simA.Every(tick, func() {
+		tip := chainA.TipID()
+		if tip != lastTip {
+			lastTip = tip
+			wA.PollAllEndpoints()
+			wA.Sweep()
+		}
+	})
+
+	// Event-driven Run under test.
+	simB, chainB, _, netB := newWorld(t, 50e6, 500e6, nil, seed)
+	wB := New(Config{Source: netB, Chain: chainB})
+	netB.Start()
+	stopB := wB.Run(simB, tick)
+
+	simA.RunFor(36 * time.Hour)
+	simB.RunFor(36 * time.Hour)
+	stopA()
+	stopB()
+	wA.Sweep()
+	wB.Sweep()
+
+	a, b := wA.Attributed(), wB.Attributed()
+	if len(a) == 0 {
+		t.Fatal("reference loop attributed nothing; test is vacuous")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("attributed blocks diverge: tick loop %d, event-driven %d\n tick: %+v\n evnt: %+v",
+			len(a), len(b), a, b)
+	}
+	sa, sb := wA.StatsSnapshot(), wB.StatsSnapshot()
+	if sa != sb {
+		t.Errorf("stats diverge: tick %+v, event-driven %+v", sa, sb)
 	}
 }
 

@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"repro/internal/benchcore"
+)
+
+// BenchmarkSchedulePop measures one schedule/pop cycle on the de-boxed
+// event heap. The body lives in internal/benchcore, shared with cmd/bench
+// so BENCH_core.json measures the identical workload.
+func BenchmarkSchedulePop(b *testing.B) { benchcore.SchedulePop(b) }

@@ -10,10 +10,14 @@
 //   - Sim: a deterministic discrete-event scheduler. Events are executed in
 //     timestamp order (FIFO among equal timestamps); handlers may schedule
 //     further events, including at the current instant.
+//
+// The event queue is a concrete binary heap of event values — no
+// container/heap interface boxing — so scheduling and popping an event
+// allocates nothing once the queue's backing array has grown to its
+// steady-state size.
 package simclock
 
 import (
-	"container/heap"
 	"sync"
 	"time"
 )
@@ -36,24 +40,12 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at.Equal(h[j].at) {
-		return h[i].seq < h[j].seq
+// before reports whether e must execute ahead of o.
+func (e *event) before(o *event) bool {
+	if e.at.Equal(o.at) {
+		return e.seq < o.seq
 	}
-	return h[i].at.Before(h[j].at)
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.at.Before(o.at)
 }
 
 // Sim is a discrete-event simulation clock. The zero value is not usable;
@@ -62,7 +54,7 @@ type Sim struct {
 	mu   sync.Mutex
 	now  time.Time
 	seq  uint64
-	evts eventHeap
+	evts []event // binary min-heap ordered by (at, seq)
 }
 
 // New returns a Sim starting at the given instant.
@@ -77,6 +69,47 @@ func (s *Sim) Now() time.Time {
 	return s.now
 }
 
+// pushLocked appends an event and restores the heap invariant (sift-up).
+func (s *Sim) pushLocked(at time.Time, fn func()) {
+	s.seq++
+	s.evts = append(s.evts, event{at: at, seq: s.seq, fn: fn})
+	i := len(s.evts) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.evts[i].before(&s.evts[parent]) {
+			break
+		}
+		s.evts[i], s.evts[parent] = s.evts[parent], s.evts[i]
+		i = parent
+	}
+}
+
+// popLocked removes and returns the earliest event (sift-down).
+func (s *Sim) popLocked() event {
+	e := s.evts[0]
+	n := len(s.evts) - 1
+	s.evts[0] = s.evts[n]
+	s.evts[n] = event{} // release the closure reference
+	s.evts = s.evts[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		least := l
+		if r < n && s.evts[r].before(&s.evts[l]) {
+			least = r
+		}
+		if !s.evts[least].before(&s.evts[i]) {
+			break
+		}
+		s.evts[i], s.evts[least] = s.evts[least], s.evts[i]
+		i = least
+	}
+	return e
+}
+
 // Schedule runs fn at the given absolute virtual time. Times in the past are
 // clamped to the current instant.
 func (s *Sim) Schedule(at time.Time, fn func()) {
@@ -85,16 +118,13 @@ func (s *Sim) Schedule(at time.Time, fn func()) {
 	if at.Before(s.now) {
 		at = s.now
 	}
-	s.seq++
-	heap.Push(&s.evts, &event{at: at, seq: s.seq, fn: fn})
+	s.pushLocked(at, fn)
 }
 
 // ScheduleAfter runs fn d after the current virtual instant.
 func (s *Sim) ScheduleAfter(d time.Duration, fn func()) {
 	s.mu.Lock()
-	at := s.now.Add(d)
-	s.seq++
-	heap.Push(&s.evts, &event{at: at, seq: s.seq, fn: fn})
+	s.pushLocked(s.now.Add(d), fn)
 	s.mu.Unlock()
 }
 
@@ -122,19 +152,20 @@ func (s *Sim) Every(d time.Duration, fn func()) (cancel func()) {
 	}
 }
 
-// pop removes the earliest event not after limit, or returns nil.
-func (s *Sim) pop(limit time.Time) *event {
+// pop removes the earliest event not after limit, with ok=false when the
+// queue is exhausted or the next event lies beyond limit.
+func (s *Sim) pop(limit time.Time) (event, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.evts) == 0 {
-		return nil
+		return event{}, false
 	}
 	if s.evts[0].at.After(limit) {
-		return nil
+		return event{}, false
 	}
-	e := heap.Pop(&s.evts).(*event)
+	e := s.popLocked()
 	s.now = e.at
-	return e
+	return e, true
 }
 
 // RunUntil processes events in order until the queue is exhausted or the
@@ -143,8 +174,8 @@ func (s *Sim) pop(limit time.Time) *event {
 func (s *Sim) RunUntil(limit time.Time) int {
 	n := 0
 	for {
-		e := s.pop(limit)
-		if e == nil {
+		e, ok := s.pop(limit)
+		if !ok {
 			break
 		}
 		e.fn()

@@ -111,6 +111,26 @@ func TestSchedulePastClampsToNow(t *testing.T) {
 	}
 }
 
+// The de-boxed event heap must not allocate per event at steady state: a
+// schedule/pop cycle with a prebuilt handler reuses the heap's backing
+// array (the seed's container/heap version boxed every event).
+func TestSchedulePopCycleAllocatesNothing(t *testing.T) {
+	s := New(t0)
+	fn := func() {}
+	// Grow the backing array to steady-state capacity first.
+	for i := 0; i < 64; i++ {
+		s.ScheduleAfter(time.Duration(i)*time.Millisecond, fn)
+	}
+	s.RunFor(time.Second)
+	avg := testing.AllocsPerRun(500, func() {
+		s.ScheduleAfter(time.Millisecond, fn)
+		s.RunFor(2 * time.Millisecond)
+	})
+	if avg != 0 {
+		t.Errorf("schedule/pop cycle: %.1f allocs/op, want 0", avg)
+	}
+}
+
 func TestRealClockTicks(t *testing.T) {
 	c := Real()
 	a := c.Now()

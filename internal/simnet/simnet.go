@@ -45,6 +45,7 @@ type Network struct {
 	rng       *rand.Rand
 	netWallet blockchain.Address
 	seq       uint64
+	produceFn func() // bound produceBlock, created once so scheduling never allocates
 
 	// counters
 	totalBlocks int
@@ -62,11 +63,13 @@ func New(cfg Config) (*Network, error) {
 	if cfg.PoolActivity == nil {
 		cfg.PoolActivity = func(time.Time) float64 { return 1 }
 	}
-	return &Network{
+	n := &Network{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		netWallet: blockchain.AddressFromString("background-miners"),
-	}, nil
+	}
+	n.produceFn = n.produceBlock
+	return n, nil
 }
 
 // Bootstrap fills the difficulty window with on-target blocks so the
@@ -112,7 +115,7 @@ func (n *Network) scheduleNext() {
 		mean = 0.001
 	}
 	dt := -mean * math.Log(1-n.rng.Float64())
-	n.cfg.Sim.ScheduleAfter(time.Duration(dt*float64(time.Second))+time.Nanosecond, n.produceBlock)
+	n.cfg.Sim.ScheduleAfter(time.Duration(dt*float64(time.Second))+time.Nanosecond, n.produceFn)
 }
 
 func (n *Network) produceBlock() {

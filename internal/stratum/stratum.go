@@ -128,12 +128,47 @@ func EncodeBlob(blob []byte) string { return hex.EncodeToString(blob) }
 
 // DecodeBlob decodes a wire blob.
 func DecodeBlob(s string) ([]byte, error) {
-	b, err := hex.DecodeString(s)
-	if err != nil {
-		return nil, fmt.Errorf("stratum: bad blob hex: %w", err)
-	}
-	return b, nil
+	return AppendDecodedBlob(nil, s)
 }
+
+// AppendDecodedBlob decodes a wire blob into dst, reusing its capacity. The
+// §4.2 watcher decodes hundreds of blobs per block interval; feeding a
+// scratch buffer here keeps its polling loop allocation-free. Hand-rolled
+// rather than encoding/hex.Decode because that takes a []byte source — the
+// string conversion would reintroduce the per-poll allocation.
+func AppendDecodedBlob(dst []byte, s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("stratum: bad blob hex: odd length %d", len(s))
+	}
+	for i := 0; i < len(s); i += 2 {
+		hi := unhexTable[s[i]]
+		lo := unhexTable[s[i+1]]
+		// Valid digits decode to 0..15; 0xFF marks anything else, so a
+		// single range check covers both characters.
+		if hi|lo >= 0x10 {
+			return nil, fmt.Errorf("stratum: bad blob hex at byte %d", i/2)
+		}
+		dst = append(dst, hi<<4|lo)
+	}
+	return dst, nil
+}
+
+// unhexTable maps hex digits to their values and everything else to 0xFF.
+var unhexTable = func() (t [256]byte) {
+	for i := range t {
+		t[i] = 0xFF
+	}
+	for c := '0'; c <= '9'; c++ {
+		t[c] = byte(c - '0')
+	}
+	for c := 'a'; c <= 'f'; c++ {
+		t[c] = byte(c-'a') + 10
+	}
+	for c := 'A'; c <= 'F'; c++ {
+		t[c] = byte(c-'A') + 10
+	}
+	return t
+}()
 
 // EncodeNonce formats a nonce for Submit.
 func EncodeNonce(n uint32) string {
