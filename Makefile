@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race check bench bench-paper bench-submit
+.PHONY: all build vet test test-short test-race check bench bench-diff bench-paper bench-submit
 
 all: build vet test-short
 
@@ -23,15 +23,22 @@ test-short:
 test-race:
 	$(GO) test -race ./internal/coinhive/... ./internal/webminer/...
 
-# CI gate: static checks plus the fast suite under the race detector.
+# CI gate: static checks (including building cmd/bench and the other
+# tools) plus the fast suite under the race detector.
 check:
+	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -short -race ./...
 
-# Core perf benchmarks (hash core, chain, simclock, pool, Fig5 day);
-# writes the machine-readable trajectory point to BENCH_core.json.
+# Core perf benchmarks (CryptoNight, Keccak, chain, simclock, pool, Fig5
+# day); writes the machine-readable trajectory point to BENCH_core.json.
 bench:
 	$(GO) run ./cmd/bench -benchtime 1s -out BENCH_core.json
+
+# Re-run the core benchmarks and print per-benchmark deltas against the
+# committed BENCH_core.json without overwriting it.
+bench-diff:
+	$(GO) run ./cmd/bench -benchtime 1s -diff BENCH_core.json
 
 # Paper artefacts as benchmarks; -benchtime=1x regenerates each once.
 bench-paper:

@@ -226,10 +226,11 @@ func BenchmarkAblationShareDifficulty(b *testing.B) {
 		name := map[uint64]string{8: "diff8", 64: "diff64", 512: "diff512"}[diff]
 		b.Run(name, func(b *testing.B) {
 			pool := newBenchPool(b, diff)
-			h, err := cryptonight.NewHasher(cryptonight.Test)
+			h, err := cryptonight.GetHasher(cryptonight.Test)
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer cryptonight.PutHasher(h)
 			totalHashes := 0
 			for i := 0; i < b.N; i++ {
 				job := pool.Job(i%32, i, false)
@@ -260,10 +261,11 @@ type benchShare struct {
 
 func premineBenchShares(b *testing.B, pool *coinhive.Pool, n int) []benchShare {
 	b.Helper()
-	h, err := cryptonight.NewHasher(pool.Chain().Params().PowVariant)
+	h, err := cryptonight.GetHasher(pool.Chain().Params().PowVariant)
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer cryptonight.PutHasher(h)
 	shares := make([]benchShare, n)
 	for i := range shares {
 		job := pool.Job(i%pool.NumEndpoints(), i, false)
@@ -398,12 +400,9 @@ func grindShare(b *testing.B, h *cryptonight.Hasher, job stratum.Job) (uint32, [
 	if err != nil {
 		b.Fatal(err)
 	}
-	off := hdr.NonceOffset()
-	for n := uint32(0); ; n++ {
-		blockchain.SpliceNonce(blob, off, n)
-		sum := h.Sum(blob)
-		if cryptonight.CheckCompactTarget(sum, target) {
-			return n, sum, int(n) + 1
-		}
+	n, sum, hashes, found := h.Grind(blob, hdr.NonceOffset(), target, 0, 1<<30)
+	if !found {
+		b.Fatal("no share in 2^30 nonces")
 	}
+	return n, sum, hashes
 }

@@ -8,9 +8,14 @@
 // per-package `go test -bench` entry points, so this report measures
 // exactly what the test benchmarks measure.
 //
+// With -diff, the benchmarks are re-run and compared against a committed
+// report instead of overwriting it, printing per-benchmark deltas — the
+// review-time answer to "what did this change do to the trajectory?".
+//
 // Usage:
 //
 //	bench [-benchtime 1s] [-out BENCH_core.json]
+//	bench [-benchtime 1s] -diff BENCH_core.json
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -64,6 +70,9 @@ type namedBench struct {
 
 func coreBenchmarks() []namedBench {
 	return []namedBench{
+		{"cryptonight/hash-test", benchcore.CryptonightHashTest},
+		{"cryptonight/hash-lite", benchcore.CryptonightHashLite},
+		{"cryptonight/grind-test", benchcore.CryptonightGrindTest},
 		{"keccak/permute", benchcore.KeccakPermute},
 		{"keccak/sum256-76B", benchcore.KeccakSum256},
 		{"blockchain/new-template", benchcore.NewTemplate},
@@ -80,8 +89,20 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	benchtime := fs.Duration("benchtime", time.Second, "target run time per benchmark")
 	outPath := fs.String("out", "BENCH_core.json", "JSON report path (empty: stdout only)")
+	diffPath := fs.String("diff", "", "re-run and print deltas vs an existing report instead of writing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var baseline *report
+	if *diffPath != "" {
+		raw, err := os.ReadFile(*diffPath)
+		if err != nil {
+			return err
+		}
+		baseline = &report{}
+		if err := json.Unmarshal(raw, baseline); err != nil {
+			return fmt.Errorf("bench: bad baseline %s: %w", *diffPath, err)
+		}
 	}
 	// testing.Benchmark sizes b.N from the -test.benchtime flag; register
 	// the testing flags and set it so our -benchtime takes effect.
@@ -112,6 +133,10 @@ func run(args []string, out io.Writer) error {
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.Iterations)
 	}
 
+	if baseline != nil {
+		printDiff(out, baseline, &rep)
+		return nil
+	}
 	if *outPath == "" {
 		return nil
 	}
@@ -124,4 +149,42 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "wrote %s\n", *outPath)
 	return nil
+}
+
+// printDiff renders the fresh run against the committed baseline: ns/op of
+// both, the speedup factor, and the alloc delta. Benchmarks present on only
+// one side are listed as added/removed rather than silently dropped.
+func printDiff(out io.Writer, baseline, fresh *report) {
+	old := make(map[string]result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		old[r.Name] = r
+	}
+	fmt.Fprintf(out, "\n%-32s %14s %14s %9s %s\n", "benchmark",
+		"baseline ns/op", "current ns/op", "speedup", "allocs")
+	for _, r := range fresh.Results {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-32s %14s %14.1f %9s %d (new)\n",
+				r.Name, "-", r.NsPerOp, "-", r.AllocsPerOp)
+			continue
+		}
+		speedup := b.NsPerOp / r.NsPerOp
+		allocs := ""
+		if r.AllocsPerOp != b.AllocsPerOp {
+			allocs = fmt.Sprintf("%d -> %d", b.AllocsPerOp, r.AllocsPerOp)
+		} else {
+			allocs = fmt.Sprintf("%d", r.AllocsPerOp)
+		}
+		fmt.Fprintf(out, "%-32s %14.1f %14.1f %8.2fx %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, speedup, allocs)
+		delete(old, r.Name)
+	}
+	removed := make([]string, 0, len(old))
+	for name := range old {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(out, "%-32s (removed)\n", name)
+	}
 }

@@ -40,6 +40,43 @@ func TestBenchSmoke(t *testing.T) {
 	}
 }
 
+func TestBenchDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every core benchmark once")
+	}
+	// A baseline with one known, one absurdly slow and one stale row: the
+	// diff must show the speedup and flag added/removed benchmarks.
+	base := report{Kind: "bench-core", Results: []result{
+		{Name: "keccak/permute", Iterations: 1, NsPerOp: 1e9, AllocsPerOp: 5},
+		{Name: "ghost/benchmark", Iterations: 1, NsPerOp: 1},
+	}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// -out points somewhere concrete so we can assert diff mode never
+	// reaches the report-writing path.
+	unwanted := filepath.Join(dir, "should-not-exist.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-benchtime", "1ms", "-out", unwanted, "-diff", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"speedup", "(new)", "ghost/benchmark", "(removed)", "cryptonight/hash-test"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+	if _, err := os.Stat(unwanted); err == nil {
+		t.Error("-diff mode wrote a report file")
+	}
+}
+
 func TestBenchBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("bad flag accepted")

@@ -20,6 +20,45 @@ import (
 	"repro/internal/stratum"
 )
 
+// CryptonightHashTest measures one CryptoNight hash of a 76-byte hashing
+// blob under the Test profile — the unit of work behind every simulated
+// web-miner hash and every pool-side share verification.
+func CryptonightHashTest(b *testing.B) { cryptonightHash(b, cryptonight.Test) }
+
+// CryptonightHashLite is the same measurement under the 1 MB Lite profile.
+func CryptonightHashLite(b *testing.B) { cryptonightHash(b, cryptonight.Lite) }
+
+func cryptonightHash(b *testing.B, v cryptonight.Variant) {
+	h, err := cryptonight.GetHasher(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cryptonight.PutHasher(h)
+	blob := make([]byte, 76)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Sum(blob)
+	}
+}
+
+// CryptonightGrindTest measures one nonce attempt of the Grind kernel
+// (splice + hash + compact-target check) under the Test profile; the
+// unmeetable target 0 makes every op exactly one hash.
+func CryptonightGrindTest(b *testing.B) {
+	h, err := cryptonight.GetHasher(cryptonight.Test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cryptonight.PutHasher(h)
+	blob := make([]byte, 76)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Grind(blob, 39, 0, uint32(i), 1)
+	}
+}
+
 // KeccakPermute measures the unrolled Keccak-f[1600] permutation.
 func KeccakPermute(b *testing.B) {
 	var a [25]uint64
@@ -134,10 +173,11 @@ func SubmitShare(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h, err := cryptonight.NewHasher(pool.Chain().Params().PowVariant)
+	h, err := cryptonight.GetHasher(pool.Chain().Params().PowVariant)
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer cryptonight.PutHasher(h)
 	type share struct {
 		jobID string
 		nonce uint32
@@ -159,14 +199,11 @@ func SubmitShare(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for n := uint32(0); ; n++ {
-			blockchain.SpliceNonce(blob, hdr.NonceOffset(), n)
-			sum := h.Sum(blob)
-			if cryptonight.CheckCompactTarget(sum, target) {
-				shares[i] = share{jobID: job.JobID, nonce: n, sum: sum}
-				break
-			}
+		n, sum, _, found := h.Grind(blob, hdr.NonceOffset(), target, 0, 1<<30)
+		if !found {
+			b.Fatal("no share in 2^30 nonces")
 		}
+		shares[i] = share{jobID: job.JobID, nonce: n, sum: sum}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -135,9 +135,9 @@ type accountStripe struct {
 type Pool struct {
 	cfg PoolConfig
 
-	// hashers hands each verifying goroutine its own CryptoNight
-	// scratchpad; Hasher is not safe for concurrent use.
-	hashers sync.Pool
+	// variant is the chain's PoW profile; share verification borrows
+	// per-goroutine scratchpads from cryptonight's per-variant pool.
+	variant cryptonight.Variant
 
 	backends []*backendShard
 	stripes  [accountStripeCount]accountStripe
@@ -169,20 +169,18 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		return nil, errors.New("coinhive: PoolConfig.Chain is required")
 	}
 	variant := cfg.Chain.Params().PowVariant
-	if _, err := cryptonight.NewHasher(variant); err != nil {
+	// Validate the variant and warm cryptonight's shared per-variant pool
+	// with one scratchpad.
+	h, err := cryptonight.GetHasher(variant)
+	if err != nil {
 		return nil, err
 	}
+	cryptonight.PutHasher(h)
 	p := &Pool{
 		cfg:      cfg,
+		variant:  variant,
 		links:    NewLinkStore(),
 		captchas: NewCaptchaService(cfg.Wallet[:16]),
-	}
-	p.hashers.New = func() interface{} {
-		h, err := cryptonight.NewHasher(variant)
-		if err != nil {
-			panic(err) // impossible: variant validated above
-		}
-		return h
 	}
 	for i := range p.stripes {
 		p.stripes[i].accts = map[string]*Account{}
@@ -445,9 +443,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	}
 
 	blockchain.SpliceNonce(blob, tmpl.NonceOffset(), nonce)
-	h := p.hashers.Get().(*cryptonight.Hasher)
-	got := h.Sum(blob)
-	p.hashers.Put(h)
+	got := cryptonight.Sum(blob, p.variant)
 	if got != result {
 		p.sharesBad.Add(1)
 		return out, ErrBadShare

@@ -1,0 +1,22 @@
+//go:build amd64 && gc
+
+package cryptonight
+
+// hasAESNI gates the assembly kernel on CPUID.1:ECX bit 25 (AES-NI).
+var hasAESNI = cpuidAsm(1)&(1<<25) != 0
+
+//go:noescape
+func cpuidAsm(leaf uint32) (ecx uint32)
+
+//go:noescape
+func encryptLanesAsm(rk *roundKeys, text *[16]uint64)
+
+// encryptLanes encrypts the eight 16-byte blocks of the lane buffer in
+// place, preferring the AES-NI kernel.
+func encryptLanes(rk *roundKeys, text *[16]uint64) {
+	if hasAESNI {
+		encryptLanesAsm(rk, text)
+		return
+	}
+	encryptLanesGo(rk, text)
+}

@@ -1,0 +1,14 @@
+//go:build amd64 && gc
+
+package cryptonight
+
+import "testing"
+
+// forceSoftAES routes encryptLanes through the software fallback for the
+// duration of the test. Tests in this package run sequentially, so flipping
+// the dispatch flag is safe.
+func forceSoftAES(t *testing.T) {
+	saved := hasAESNI
+	hasAESNI = false
+	t.Cleanup(func() { hasAESNI = saved })
+}

@@ -1,0 +1,9 @@
+//go:build !amd64 || !gc
+
+package cryptonight
+
+// encryptLanes encrypts the eight 16-byte blocks of the lane buffer in
+// place. Non-amd64 builds always take the T-table software path.
+func encryptLanes(rk *roundKeys, text *[16]uint64) {
+	encryptLanesGo(rk, text)
+}

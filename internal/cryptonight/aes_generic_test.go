@@ -1,0 +1,9 @@
+//go:build !amd64 || !gc
+
+package cryptonight
+
+import "testing"
+
+// forceSoftAES is a no-op on builds whose encryptLanes is already the
+// software path.
+func forceSoftAES(t *testing.T) {}

@@ -1,0 +1,74 @@
+package cryptonight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// ExampleCheckCompactTarget documents the Coinhive compact-target
+// convention the way the code implements it: DifficultyForTarget encodes a
+// difficulty as floor(2^32/difficulty), and a share qualifies when the
+// hash's TRAILING four bytes — hash[28:32], the most significant word of
+// the little-endian 256-bit hash value — read as a little-endian uint32
+// are strictly below that target.
+func ExampleCheckCompactTarget() {
+	target := DifficultyForTarget(256) // 2^32/256 = 2^24
+
+	var hash [32]byte
+	binary.LittleEndian.PutUint32(hash[28:], 1<<24-1) // trailing word just below
+	fmt.Println(target == 1<<24, CheckCompactTarget(hash, target))
+
+	binary.LittleEndian.PutUint32(hash[28:], 1<<24) // equal: rejected
+	fmt.Println(CheckCompactTarget(hash, target))
+
+	// The leading bytes do not participate at all.
+	binary.LittleEndian.PutUint32(hash[28:], 1<<24-1)
+	for i := 0; i < 28; i++ {
+		hash[i] = 0xFF
+	}
+	fmt.Println(CheckCompactTarget(hash, target))
+	// Output:
+	// true true
+	// false
+	// true
+}
+
+// TestCompactTargetReadsTrailingBytes pins the convention the package docs
+// describe (and that DifficultyForTarget's comment used to contradict):
+// only hash[28:32] matters, and it is the most significant little-endian
+// word — so the compact check agrees with the full CheckDifficulty rule on
+// hashes whose low 224 bits are zero.
+func TestCompactTargetReadsTrailingBytes(t *testing.T) {
+	var lowJunk [32]byte
+	for i := 0; i < 28; i++ {
+		lowJunk[i] = 0xFF // "first 4 little-endian bytes" would read 0xFFFFFFFF
+	}
+	binary.LittleEndian.PutUint32(lowJunk[28:], 1)
+	if !CheckCompactTarget(lowJunk, 2) {
+		t.Error("hash with trailing word 1 rejected at target 2: leading bytes leaked into the check")
+	}
+	var highJunk [32]byte
+	binary.LittleEndian.PutUint32(highJunk[28:], 0xFFFFFFFF)
+	if CheckCompactTarget(highJunk, ^uint32(0)) {
+		t.Error("hash with max trailing word accepted: trailing bytes ignored")
+	}
+
+	// Agreement with CheckDifficulty when only the top word is set: for
+	// difficulty d, the compact target floor(2^32/d) accepts top words w
+	// with w < floor(2^32/d), and the consensus rule accepts w×2^224×d not
+	// overflowing 2^256, i.e. w×d < 2^32 ⇔ w ≤ floor(2^32/d) − (d|2^32 ? 0 : …).
+	// Exact equivalence holds whenever d divides 2^32; check those.
+	for _, d := range []uint64{2, 4, 256, 1 << 16} {
+		target := DifficultyForTarget(d)
+		for _, w := range []uint32{0, 1, target - 1, target, target + 1} {
+			var h [32]byte
+			binary.LittleEndian.PutUint32(h[28:], w)
+			compact := CheckCompactTarget(h, target)
+			full := CheckDifficulty(h, d)
+			if compact != full {
+				t.Errorf("d=%d w=%#x: compact=%v full=%v", d, w, compact, full)
+			}
+		}
+	}
+}

@@ -13,19 +13,27 @@
 //
 // Two deliberate substitutions versus the reference (documented in
 // DESIGN.md): the single AES rounds are replaced by full AES-128 block
-// encryptions (crypto/aes, hardware accelerated), and the final hash is
-// always Keccak-256 instead of the 2-bit BLAKE/Grøstl/JH/Skein selector.
-// Neither changes any property the paper's measurements rely on: the
-// function remains deterministic, memory-hard, CPU-bound and verifiable,
-// and the full profile lands in the same tens-of-hashes-per-second regime
-// as the paper's 2013 MacBook (20 H/s) that calibrates Figure 4's top axis.
+// encryptions (AES-NI on amd64, T-table software elsewhere — bit-identical
+// to crypto/aes), and the final hash is always Keccak-256 instead of the
+// 2-bit BLAKE/Grøstl/JH/Skein selector. Neither changes any property the
+// paper's measurements rely on: the function remains deterministic,
+// memory-hard, CPU-bound and verifiable, and the full profile lands in the
+// same tens-of-hashes-per-second regime as the paper's 2013 MacBook
+// (20 H/s) that calibrates Figure 4's top axis.
+//
+// The scratchpad is held as little-endian uint64 lanes and the main loop
+// runs on uint64 register pairs through the T-tables (see aesround.go), so
+// the 2^12–2^19 memory-hard rounds do no byte marshalling at all. Mining
+// and verification code paths reuse Hashers: either explicitly
+// (NewHasher, one per goroutine) or through the per-variant pool behind
+// Sum and Grind.
 package cryptonight
 
 import (
-	"crypto/aes"
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/keccak"
 )
@@ -66,10 +74,21 @@ func (v Variant) validate() error {
 
 // Hasher computes CryptoNight hashes, reusing its scratchpad across calls.
 // It is not safe for concurrent use; mining code runs one Hasher per
-// goroutine (exactly as the web miner runs one scratchpad per worker).
+// goroutine (exactly as the web miner runs one scratchpad per worker),
+// either via NewHasher or borrowed from the per-variant pool with
+// GetHasher/PutHasher.
 type Hasher struct {
 	v   Variant
-	pad []byte
+	pad []uint64 // scratchpad as little-endian uint64 lanes
+
+	// Per-hash working state, kept on the Hasher so Sum allocates nothing:
+	// the two expanded AES-128 schedules and the 128-byte explode/implode
+	// lane buffer.
+	rk0, rk1 roundKeys
+	text     [16]uint64
+
+	// blob is Grind's reusable copy of the job blob.
+	blob []byte
 }
 
 // NewHasher allocates a Hasher for the given variant.
@@ -77,7 +96,7 @@ func NewHasher(v Variant) (*Hasher, error) {
 	if err := v.validate(); err != nil {
 		return nil, err
 	}
-	return &Hasher{v: v, pad: make([]byte, v.ScratchpadSize)}, nil
+	return &Hasher{v: v, pad: make([]uint64, v.ScratchpadSize/8)}, nil
 }
 
 // Variant returns the profile this Hasher was built with.
@@ -87,76 +106,67 @@ func (h *Hasher) Variant() Variant { return h.v }
 func (h *Hasher) Sum(data []byte) [32]byte {
 	state := keccak.State1600(data)
 
-	key0, err := aes.NewCipher(state[0:32][:16])
-	if err != nil {
-		panic(err) // impossible: key size is fixed
-	}
-	key1, err := aes.NewCipher(state[32:64][:16])
-	if err != nil {
-		panic(err)
-	}
+	expandKey(state[0:16], &h.rk0)
+	expandKey(state[32:48], &h.rk1)
 
-	// Explode: expand state[64:192] into the scratchpad.
-	var text [128]byte
-	copy(text[:], state[64:192])
+	// Explode: expand state[64:192] into the scratchpad, 128 bytes at a
+	// time through the AES lane buffer.
+	text := &h.text
+	for i := 0; i < 16; i++ {
+		text[i] = binary.LittleEndian.Uint64(state[64+8*i:])
+	}
 	pad := h.pad
-	for off := 0; off < len(pad); off += 128 {
-		for b := 0; b < 128; b += 16 {
-			key0.Encrypt(text[b:b+16], text[b:b+16])
-		}
-		copy(pad[off:off+128], text[:])
+	for off := 0; off < len(pad); off += 16 {
+		encryptLanes(&h.rk0, text)
+		copy(pad[off:off+16], text[:])
 	}
 
 	// Main loop state: two 16-byte registers derived from the Keccak state.
-	var a, b [2]uint64
-	a[0] = binary.LittleEndian.Uint64(state[0:]) ^ binary.LittleEndian.Uint64(state[32:])
-	a[1] = binary.LittleEndian.Uint64(state[8:]) ^ binary.LittleEndian.Uint64(state[40:])
-	b[0] = binary.LittleEndian.Uint64(state[16:]) ^ binary.LittleEndian.Uint64(state[48:])
-	b[1] = binary.LittleEndian.Uint64(state[24:]) ^ binary.LittleEndian.Uint64(state[56:])
+	a0 := binary.LittleEndian.Uint64(state[0:]) ^ binary.LittleEndian.Uint64(state[32:])
+	a1 := binary.LittleEndian.Uint64(state[8:]) ^ binary.LittleEndian.Uint64(state[40:])
+	b0 := binary.LittleEndian.Uint64(state[16:]) ^ binary.LittleEndian.Uint64(state[48:])
+	b1 := binary.LittleEndian.Uint64(state[24:]) ^ binary.LittleEndian.Uint64(state[56:])
 
-	mask := uint64(len(pad)-1) &^ 0xF
-	var akey, cbuf [16]byte
-	var cx [2]uint64
-
-	for i := 0; i < h.v.Iterations; i++ {
+	// mask turns register a (resp. c) into the byte address of a 16-byte
+	// cache line; >>3 converts it to the line's first uint64 lane.
+	mask := uint64(h.v.ScratchpadSize-1) &^ 0xF
+	for i := h.v.Iterations; i > 0; i-- {
 		// First half-round: one AES round on the a-addressed cache line,
 		// keyed directly by register a (no key schedule — as in the
 		// reference implementation).
-		addr := a[0] & mask
-		copy(cbuf[:], pad[addr:addr+16])
-		binary.LittleEndian.PutUint64(akey[0:], a[0])
-		binary.LittleEndian.PutUint64(akey[8:], a[1])
-		aesRound(&cbuf, &cbuf, &akey)
-		cx[0] = binary.LittleEndian.Uint64(cbuf[0:])
-		cx[1] = binary.LittleEndian.Uint64(cbuf[8:])
-		binary.LittleEndian.PutUint64(pad[addr:], b[0]^cx[0])
-		binary.LittleEndian.PutUint64(pad[addr+8:], b[1]^cx[1])
+		idx := (a0 & mask) >> 3
+		c0, c1 := aesRound64(pad[idx], pad[idx+1], a0, a1)
+		pad[idx] = b0 ^ c0
+		pad[idx+1] = b1 ^ c1
 
 		// Second half-round: multiply-add on the c-addressed cache line.
-		addr2 := cx[0] & mask
-		d0 := binary.LittleEndian.Uint64(pad[addr2:])
-		d1 := binary.LittleEndian.Uint64(pad[addr2+8:])
-		hi, lo := bits.Mul64(cx[0], d0)
-		a[0] += hi
-		a[1] += lo
-		binary.LittleEndian.PutUint64(pad[addr2:], a[0])
-		binary.LittleEndian.PutUint64(pad[addr2+8:], a[1])
-		a[0] ^= d0
-		a[1] ^= d1
-		b = cx
+		idx2 := (c0 & mask) >> 3
+		d0 := pad[idx2]
+		d1 := pad[idx2+1]
+		hi, lo := bits.Mul64(c0, d0)
+		a0 += hi
+		a1 += lo
+		pad[idx2] = a0
+		pad[idx2+1] = a1
+		a0 ^= d0
+		a1 ^= d1
+		b0, b1 = c0, c1
 	}
 
 	// Implode: fold the scratchpad back into state[64:192].
-	copy(text[:], state[64:192])
-	for off := 0; off < len(pad); off += 128 {
-		for i := 0; i < 128; i++ {
-			text[i] ^= pad[off+i]
-		}
-		for b := 0; b < 128; b += 16 {
-			key1.Encrypt(text[b:b+16], text[b:b+16])
-		}
+	for i := 0; i < 16; i++ {
+		text[i] = binary.LittleEndian.Uint64(state[64+8*i:])
 	}
-	copy(state[64:192], text[:])
+	for off := 0; off < len(pad); off += 16 {
+		line := pad[off : off+16 : off+16]
+		for i := 0; i < 16; i++ {
+			text[i] ^= line[i]
+		}
+		encryptLanes(&h.rk1, text)
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint64(state[64+8*i:], text[i])
+	}
 
 	// Final permutation and hash.
 	var st [25]uint64
@@ -171,13 +181,79 @@ func (h *Hasher) Sum(data []byte) [32]byte {
 	return keccak.Sum256(out[:])
 }
 
-// Sum is a convenience wrapper allocating a throwaway Hasher.
+// Grind searches nonces n = start, start+1, … for one that meets the
+// compact pool target, splicing each (little-endian) into
+// blob[nonceOffset:nonceOffset+4]. The job setup — the blob copy and the
+// bounds checks — is hoisted out of the nonce loop; blob itself is never
+// written. It stops after maxHashes attempts, reporting how many hashes
+// were computed either way.
+func (h *Hasher) Grind(blob []byte, nonceOffset int, target uint32, start uint32, maxHashes int) (nonce uint32, sum [32]byte, hashes int, found bool) {
+	return h.GrindStride(blob, nonceOffset, target, start, 1, maxHashes)
+}
+
+// GrindStride is Grind scanning n = start, start+stride, start+2·stride, …
+// — the layout a thread pool uses to stripe one nonce space across workers
+// without duplicating an attempt.
+func (h *Hasher) GrindStride(blob []byte, nonceOffset int, target uint32, start, stride uint32, maxHashes int) (nonce uint32, sum [32]byte, hashes int, found bool) {
+	if nonceOffset < 0 || nonceOffset+4 > len(blob) {
+		panic(fmt.Sprintf("cryptonight: nonce offset %d out of range for %d-byte blob", nonceOffset, len(blob)))
+	}
+	h.blob = append(h.blob[:0], blob...)
+	buf := h.blob
+	n := start
+	for i := 0; i < maxHashes; i++ {
+		binary.LittleEndian.PutUint32(buf[nonceOffset:], n)
+		s := h.Sum(buf)
+		hashes++
+		if CheckCompactTarget(s, target) {
+			return n, s, hashes, true
+		}
+		n += stride
+	}
+	return 0, sum, hashes, false
+}
+
+// pools holds one sync.Pool of Hashers per variant, so Sum/Grind
+// convenience calls and transient verifiers reuse scratchpads instead of
+// allocating multi-MB pads per call.
+var pools sync.Map // Variant -> *sync.Pool
+
+// GetHasher borrows a Hasher for the variant from the per-variant pool.
+// Return it with PutHasher when done.
+func GetHasher(v Variant) (*Hasher, error) {
+	if p, ok := pools.Load(v); ok {
+		return p.(*sync.Pool).Get().(*Hasher), nil
+	}
+	if err := v.validate(); err != nil {
+		return nil, err
+	}
+	p, _ := pools.LoadOrStore(v, &sync.Pool{New: func() interface{} {
+		return &Hasher{v: v, pad: make([]uint64, v.ScratchpadSize/8)}
+	}})
+	return p.(*sync.Pool).Get().(*Hasher), nil
+}
+
+// PutHasher returns a Hasher obtained from GetHasher (or NewHasher) to its
+// variant's pool.
+func PutHasher(h *Hasher) {
+	if h == nil {
+		return
+	}
+	if p, ok := pools.Load(h.v); ok {
+		p.(*sync.Pool).Put(h)
+	}
+}
+
+// Sum is a convenience wrapper computing one hash on a pooled Hasher; at
+// steady state it allocates nothing.
 func Sum(data []byte, v Variant) [32]byte {
-	h, err := NewHasher(v)
+	h, err := GetHasher(v)
 	if err != nil {
 		panic(err)
 	}
-	return h.Sum(data)
+	sum := h.Sum(data)
+	PutHasher(h)
+	return sum
 }
 
 // CheckDifficulty reports whether hash satisfies the given difficulty under
@@ -204,8 +280,9 @@ func CheckDifficulty(hash [32]byte, difficulty uint64) bool {
 
 // DifficultyForTarget returns the pool-style 32-bit compact target encoding
 // used by Coinhive-like job messages: target = floor(2^32 / difficulty).
-// A share qualifies when the first 4 little-endian bytes of the hash,
-// read as uint32, are below the target.
+// Under the Coinhive convention (see CheckCompactTarget) a share qualifies
+// when the hash's trailing 4 bytes, hash[28:32] read as a little-endian
+// uint32, are below the target.
 func DifficultyForTarget(difficulty uint64) uint32 {
 	if difficulty == 0 {
 		return ^uint32(0)
@@ -217,10 +294,13 @@ func DifficultyForTarget(difficulty uint64) uint32 {
 	return uint32(t)
 }
 
-// CheckCompactTarget reports whether hash meets a compact 32-bit pool target.
+// CheckCompactTarget reports whether hash meets a compact 32-bit pool
+// target: the hash's trailing 4 bytes, hash[28:32] read as a little-endian
+// uint32, must be strictly below target. The trailing bytes are the most
+// significant ones of the little-endian 256-bit hash value, which is what
+// makes this a cheap proxy for the full CheckDifficulty comparison — the
+// convention the Coinhive web miner implements.
 func CheckCompactTarget(hash [32]byte, target uint32) bool {
-	// Pool convention (as in the Coinhive web miner): compare the hash's
-	// trailing 4 bytes little-endian against the target.
 	v := binary.LittleEndian.Uint32(hash[28:])
 	return v < target
 }

@@ -56,8 +56,19 @@ type DB struct {
 	// backends maps a pool endpoint domain suffix to a family name, used to
 	// attribute unknown miners by their Websocket backend.
 	backends map[string]string
-	// hints maps a function-name fragment to a family.
-	hints map[string]string
+	// hints maps a function-name fragment to a family; hintList holds the
+	// same fragments sorted longest-first (ties lexicographic), the order
+	// the attribution scan probes them in. Longest-first means the scan can
+	// stop at the first hit per document and prune the whole tail once any
+	// match bounds the remaining fragments.
+	hints    map[string]string
+	hintList []hintEntry
+}
+
+// hintEntry is one (fragment, family) pair of the sorted hint scan list.
+type hintEntry struct {
+	frag   string
+	family string
 }
 
 // NewDB returns an empty database.
@@ -91,9 +102,21 @@ func (db *DB) RegisterHint(fragment, family string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	frag := strings.ToLower(fragment)
-	if _, taken := db.hints[frag]; !taken {
-		db.hints[frag] = family
+	if _, taken := db.hints[frag]; taken {
+		return
 	}
+	db.hints[frag] = family
+	// Insert in scan order: longest fragment first, ties lexicographic.
+	i := sort.Search(len(db.hintList), func(i int) bool {
+		e := db.hintList[i]
+		if len(e.frag) != len(frag) {
+			return len(e.frag) < len(frag)
+		}
+		return e.frag >= frag
+	})
+	db.hintList = append(db.hintList, hintEntry{})
+	copy(db.hintList[i+1:], db.hintList[i:])
+	db.hintList[i] = hintEntry{frag: frag, family: family}
 }
 
 // Len reports the number of registered assemblies.
@@ -170,13 +193,25 @@ func (db *DB) Classify(m *wasm.Module, wsHosts []string) Verdict {
 			}
 		}
 	}
+	// Each name is lowercased exactly once and scanned against the
+	// longest-first hint list: fragments no longer than the best match so
+	// far cannot improve it (prune the tail), fragments longer than the
+	// name cannot occur in it (skip), and the first hit per name is by
+	// construction its longest, so the scan stops there.
 	bestLen := 0
 	for _, name := range m.Names {
 		low := strings.ToLower(name)
-		for frag, fam := range db.hints {
-			if len(frag) > bestLen && strings.Contains(low, frag) {
-				bestLen = len(frag)
-				v.Family = fam
+		for _, he := range db.hintList {
+			if len(he.frag) <= bestLen {
+				break
+			}
+			if len(he.frag) > len(low) {
+				continue
+			}
+			if strings.Contains(low, he.frag) {
+				bestLen = len(he.frag)
+				v.Family = he.family
+				break
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package fingerprint
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/wasm"
@@ -214,6 +215,61 @@ func BenchmarkClassifyExact(b *testing.B) {
 	spec, _ := SpecByName(FamilyCoinhive)
 	m := ModuleFor(spec, 0)
 	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Classify(m, nil)
+	}
+}
+
+func TestHintScanLongestFragmentWins(t *testing.T) {
+	db := NewDB()
+	db.RegisterHint("cn_hash", "short-family")
+	db.RegisterHint("cryptonight_hash", "long-family")
+	spec, _ := SpecByName(FamilyCoinhive)
+	m := ModuleFor(spec, 0)
+	m.Codes[0].Body[5] ^= 0xFF // break the signature: force the heuristic path
+	// The name contains both fragments; the longer one must win.
+	m.Names = map[uint32]string{1: "__Z16cryptonight_hashPKc"}
+	if v := db.Classify(m, nil); !v.Miner || v.Family != "long-family" {
+		t.Errorf("verdict = %+v, want long-family via longest hint", v)
+	}
+}
+
+func TestHintScanEqualLengthTieIsDeterministic(t *testing.T) {
+	// Equal-length fragments are probed in lexicographic order, so ties
+	// resolve the same way on every run (the map-iteration scan they
+	// replace picked a random winner).
+	for trial := 0; trial < 8; trial++ {
+		db := NewDB()
+		db.RegisterHint("zzhash", "family-z")
+		db.RegisterHint("aahash", "family-a")
+		spec, _ := SpecByName(FamilyCoinhive)
+		m := ModuleFor(spec, 0)
+		m.Codes[0].Body[5] ^= 0xFF
+		m.Names = map[uint32]string{1: "mix_zzhash_aahash"}
+		if v := db.Classify(m, nil); v.Family != "family-a" {
+			t.Fatalf("trial %d: tie resolved to %q, want family-a", trial, v.Family)
+		}
+	}
+}
+
+// BenchmarkClassifyHintAttribution measures the heuristic hint scan with a
+// realistically padded fragment table: one catalog hint matches, 200
+// synthetic shorter fragments must not be probed once the match bounds
+// the scan.
+func BenchmarkClassifyHintAttribution(b *testing.B) {
+	db := ReferenceDB()
+	for i := 0; i < 200; i++ {
+		db.RegisterHint(fmt.Sprintf("sfrag%03d", i), "synthetic")
+	}
+	spec, _ := SpecByName(FamilyCoinhive)
+	m := ModuleFor(spec, 0)
+	m.Codes[0].Body[5] ^= 0xFF
+	m.Names = map[uint32]string{
+		1: "__Z16cryptonight_hashPKc",
+		2: "memcpy", 3: "stackAlloc", 4: "dynCall_viiii",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.Classify(m, nil)
 	}

@@ -140,14 +140,25 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 	if threads < 1 {
 		threads = 1
 	}
+	// Scratchpads come from the per-variant pool, so a fleet resolving many
+	// links reuses a small working set of pads instead of allocating
+	// per-session.
 	hashers := make([]*cryptonight.Hasher, threads)
 	for i := range hashers {
-		h, err := cryptonight.NewHasher(c.Variant)
+		h, err := cryptonight.GetHasher(c.Variant)
 		if err != nil {
+			for _, held := range hashers[:i] {
+				cryptonight.PutHasher(held)
+			}
 			return res, err
 		}
 		hashers[i] = h
 	}
+	defer func() {
+		for _, h := range hashers {
+			cryptonight.PutHasher(h)
+		}
+	}()
 	maxHashes := c.MaxHashesPerJob
 	if maxHashes == 0 {
 		maxHashes = 1 << 22
@@ -223,7 +234,9 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 
 // solveParallel stripes the nonce space across the worker hashers: worker
 // w scans start+w, start+w+T, start+w+2T, … — the layout the web miner's
-// thread pool uses so workers never duplicate an attempt.
+// thread pool uses so workers never duplicate an attempt. Each worker
+// grinds in short bursts of the cryptonight kernel, checking for a
+// sibling's win between bursts.
 func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
 	if len(hashers) == 1 {
 		return solve(hashers[0], job, start, maxHashes)
@@ -232,9 +245,14 @@ func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, m
 		nonce  uint32
 		sum    [32]byte
 		hashes int
+		found  bool
 	}
 	stride := uint32(len(hashers))
 	perWorker := maxHashes / len(hashers)
+	// burst is the number of nonces ground between cancellation checks —
+	// long enough to amortise the kernel entry, short enough that losing
+	// workers stop promptly after a share is found.
+	const burst = 16
 	results := make(chan hit, len(hashers))
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -242,28 +260,27 @@ func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, m
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			blob := append([]byte(nil), job.blob...)
 			h := hashers[w]
 			n := start + uint32(w)
 			local := 0
-			for i := 0; i < perWorker; i++ {
+			for local < perWorker {
 				select {
 				case <-done:
 					results <- hit{hashes: local}
 					return
 				default:
 				}
-				blob[job.nonceOffset] = byte(n)
-				blob[job.nonceOffset+1] = byte(n >> 8)
-				blob[job.nonceOffset+2] = byte(n >> 16)
-				blob[job.nonceOffset+3] = byte(n >> 24)
-				sum := h.Sum(blob)
-				local++
-				if cryptonight.CheckCompactTarget(sum, job.target) {
-					results <- hit{nonce: n, sum: sum, hashes: local}
+				batch := perWorker - local
+				if batch > burst {
+					batch = burst
+				}
+				bn, sum, hs, ok := h.GrindStride(job.blob, job.nonceOffset, job.target, n, stride, batch)
+				local += hs
+				if ok {
+					results <- hit{nonce: bn, sum: sum, hashes: local, found: true}
 					return
 				}
-				n += stride
+				n += uint32(batch) * stride
 			}
 			results <- hit{hashes: local}
 		}(w)
@@ -272,7 +289,7 @@ func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, m
 	for range hashers {
 		r := <-results
 		hashes += r.hashes
-		if r.hashes > 0 && (r.sum != [32]byte{}) && winner == nil {
+		if r.found && winner == nil {
 			rr := r
 			winner = &rr
 			close(done)
@@ -288,20 +305,7 @@ func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, m
 // solve searches nonces sequentially from start until the compact target
 // is met.
 func solve(h *cryptonight.Hasher, job *jobState, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
-	blob := append([]byte(nil), job.blob...)
-	for i := 0; i < maxHashes; i++ {
-		n := start + uint32(i)
-		blob[job.nonceOffset] = byte(n)
-		blob[job.nonceOffset+1] = byte(n >> 8)
-		blob[job.nonceOffset+2] = byte(n >> 16)
-		blob[job.nonceOffset+3] = byte(n >> 24)
-		sum := h.Sum(blob)
-		hashes++
-		if cryptonight.CheckCompactTarget(sum, job.target) {
-			return n, sum, hashes, true
-		}
-	}
-	return 0, result, hashes, false
+	return h.Grind(job.blob, job.nonceOffset, job.target, start, maxHashes)
 }
 
 // LinkPageInfo is what the paper's scraper extracted from every cnhv.co
