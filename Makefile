@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race check bench bench-diff bench-paper bench-submit
+.PHONY: all build vet test test-short test-race check bench bench-diff bench-paper bench-submit load load-smoke
 
 all: build vet test-short
 
@@ -24,11 +24,23 @@ test-race:
 	$(GO) test -race ./internal/coinhive/... ./internal/webminer/...
 
 # CI gate: static checks (including building cmd/bench and the other
-# tools) plus the fast suite under the race detector.
+# tools), the fast suite under the race detector, and the live-service
+# load smoke.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -short -race ./...
+	$(MAKE) load-smoke
+
+# Live-service gate (≈10s): 1,000 concurrent ws miner sessions against an
+# in-process coinhived, zero protocol errors or the target fails.
+load-smoke:
+	$(GO) run ./cmd/loadd -smoke
+
+# Full load-scenario catalogue (steady/churn/storm/slow/malformed/smoke)
+# at swarm scale; writes the trajectory point to BENCH_load.json.
+load:
+	$(GO) run ./cmd/loadd -scenario all -sessions 1000 -out BENCH_load.json
 
 # Core perf benchmarks (CryptoNight, Keccak, chain, simclock, pool, Fig5
 # day); writes the machine-readable trajectory point to BENCH_core.json.

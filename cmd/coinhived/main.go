@@ -16,9 +16,15 @@
 //	/cn/{id}                      short-link interstitial
 //	/api/link/create              POST {token,url,hashes}
 //	/api/stats                    pool statistics
+//	/metrics                      instrument exposition (?format=json)
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// connections, completes a 1001 close handshake on every live miner
+// session, and flushes the final pool stats and metrics to stdout.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +33,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/blockchain"
 	"repro/internal/coinhive"
@@ -34,7 +43,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return // -h: usage already printed, exit 0
 		}
@@ -42,7 +53,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("coinhived", flag.ContinueOnError)
 	listen := fs.String("listen", ":8080", "listen address")
 	shareDiff := fs.Uint64("share-diff", 256, "per-share difficulty")
@@ -90,7 +101,41 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "coinhived: %d pool endpoints on %s (chain difficulty %d)\n",
-		pool.NumEndpoints(), *listen, chain.NextDifficulty())
-	return http.ListenAndServe(*listen, handler)
+		pool.NumEndpoints(), ln.Addr(), chain.NextDifficulty())
+
+	srv := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: first complete the close handshake on every
+	// hijacked ws miner session (which http.Server.Shutdown cannot
+	// reach), then stop accepting and finish in-flight plain-HTTP
+	// requests, then flush the final numbers so an operator sees what
+	// the process achieved.
+	fmt.Fprintln(out, "coinhived: signal received, shutting down")
+	handler.Shutdown()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(out, "coinhived: http shutdown: %v\n", err)
+	}
+	if !handler.Drained(4 * time.Second) {
+		fmt.Fprintln(out, "coinhived: some miner sessions never answered the close handshake")
+	}
+
+	st := pool.StatsSnapshot()
+	fmt.Fprintf(out, "coinhived: final stats: blocks=%d shares_ok=%d shares_bad=%d accounts=%d\n",
+		st.BlocksFound, st.SharesOK, st.SharesBad, st.TotalAccounts)
+	return pool.Metrics().WriteText(out)
 }

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestRunSmoke(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-smoke"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-smoke"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -18,7 +21,65 @@ func TestRunSmoke(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("bad flag accepted")
 	}
+}
+
+// TestGracefulShutdown drives the real serve path: boot on an ephemeral
+// port, cancel the context (what SIGINT/SIGTERM do via NotifyContext),
+// and require a clean exit that flushed the final stats.
+func TestGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuilder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0"}, &out)
+	}()
+
+	// Wait until the daemon reports it is listening, then signal.
+	deadline := time.After(5 * time.Second)
+	for !strings.Contains(out.String(), "pool endpoints on") {
+		select {
+		case <-deadline:
+			t.Fatalf("daemon never came up; output: %q", out.String())
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v; output: %q", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	got := out.String()
+	for _, want := range []string{"shutting down", "final stats", "pool.shares_ok counter"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("shutdown output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// syncBuilder is a strings.Builder safe for the writer/poller pair above.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

@@ -1,0 +1,179 @@
+// Command loadd runs a named load-generation scenario against a
+// coinhive service and writes the run's trajectory point(s) to a JSON
+// report — the measurement the paper's scale story needs: a live
+// service under thousands of protocol-faithful ws+stratum miner
+// sessions, with client-observed accept latency.
+//
+// Usage:
+//
+//	loadd -smoke                              # CI gate: in-process, ≥1000 sessions, zero protocol errors
+//	loadd -scenario all -out BENCH_load.json  # full catalogue against an in-process service
+//	loadd -target ws://host:8080 -scenario steady -sessions 2000
+//
+// Without -target, loadd boots an in-process coinhived on a loopback
+// port; the swarm still crosses real TCP and the real WebSocket stack.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cryptonight"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+// report is the BENCH_load.json document, shaped like BENCH_core.json so
+// trajectory tooling reads both.
+type report struct {
+	Kind      string           `json:"kind"`
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	NumCPU    int              `json:"num_cpu"`
+	Results   []loadgen.Result `json:"results"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadd", flag.ContinueOnError)
+	target := fs.String("target", "", "ws:// base of a live service (empty: boot one in-process)")
+	scenario := fs.String("scenario", "steady", `scenario name, or "all" for the catalogue`)
+	sessions := fs.Int("sessions", 1000, "swarm size")
+	workers := fs.Int("workers", 128, "worker goroutines multiplexing the sessions")
+	endpoints := fs.Int("endpoints", 32, "number of /proxyN endpoints on the target")
+	shareDiff := fs.Uint64("share-diff", 2, "share difficulty of the in-process service")
+	variant := fs.String("variant", "test", "target's cryptonight profile: test, lite, full")
+	deadline := fs.Duration("deadline", 60*time.Second, "per-scenario time budget")
+	outFile := fs.String("out", "", "write the JSON report here")
+	smoke := fs.Bool("smoke", false, "CI gate: in-process smoke scenario, assert full concurrency and zero protocol errors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	v := cryptonight.Test
+	switch *variant {
+	case "test":
+	case "lite":
+		v = cryptonight.Lite
+	case "full":
+		v = cryptonight.Full
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	names := []string{*scenario}
+	if *smoke {
+		names = []string{"smoke"}
+		*target = ""
+	} else if *scenario == "all" {
+		names = loadgen.ScenarioNames()
+	}
+
+	// The in-process pool keeps one registry across scenarios (its
+	// counters are cumulative by nature); each swarm run below gets a
+	// fresh one so every report row is per-scenario, not cumulative.
+	poolReg := metrics.NewRegistry()
+	url := *target
+	if url == "" {
+		t, err := loadgen.StartInproc(*shareDiff, poolReg)
+		if err != nil {
+			return err
+		}
+		defer t.Close()
+		url = t.URL
+		v = t.Pool.Chain().Params().PowVariant
+		fmt.Fprintf(out, "loadd: in-process coinhived on %s (share difficulty %d)\n", url, *shareDiff)
+	}
+
+	rep := report{
+		Kind:      "bench-load",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, name := range names {
+		sc, err := loadgen.ScenarioByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := loadgen.Run(loadgen.Config{
+			URL:       url,
+			Endpoints: *endpoints,
+			Sessions:  *sessions,
+			Workers:   *workers,
+			Scenario:  sc,
+			Variant:   v,
+			Deadline:  *deadline,
+			Registry:  metrics.NewRegistry(),
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w (samples: %v)", name, err, res.ErrorSamples)
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(out, "loadd: %-10s sessions=%d peak=%d shares_ok=%d shares/s=%.0f accept p50=%s p99=%s max=%s reconnects=%d proto_errors=%d\n",
+			res.Scenario, res.Sessions, res.PeakConcurrent, res.SharesOK, res.SharesPerSec,
+			time.Duration(res.AcceptP50Ns), time.Duration(res.AcceptP99Ns), time.Duration(res.AcceptMaxNs),
+			res.Reconnects, res.ProtocolErrors)
+
+		if *smoke {
+			if err := assertSmoke(res, *sessions); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "loadd: smoke OK — %d concurrent sessions sustained, zero protocol errors\n", res.EndConcurrent)
+		}
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadd: wrote %s (%d scenario rows)\n", *outFile, len(rep.Results))
+	}
+	return nil
+}
+
+// assertSmoke is the CI gate: the full swarm must be connected
+// simultaneously at the all-parked barrier, every expected share must
+// have been accepted, and nothing may have deviated from the dialect.
+func assertSmoke(res loadgen.Result, sessions int) error {
+	if res.ProtocolErrors != 0 {
+		return fmt.Errorf("smoke: %d protocol errors: %v", res.ProtocolErrors, res.ErrorSamples)
+	}
+	if res.EndConcurrent != int64(sessions) || res.PeakConcurrent < int64(sessions) {
+		return fmt.Errorf("smoke: concurrency end=%d peak=%d, want %d sustained",
+			res.EndConcurrent, res.PeakConcurrent, sessions)
+	}
+	if want := uint64(sessions * 2); res.SharesOK != want { // smoke scenario: 2 turns
+		return fmt.Errorf("smoke: SharesOK = %d, want %d", res.SharesOK, want)
+	}
+	return nil
+}

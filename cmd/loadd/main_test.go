@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmokeSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-smoke", "-sessions", "64", "-workers", "32"}, &out); err != nil {
+		t.Fatalf("%v\noutput: %s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "smoke OK — 64 concurrent sessions") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var out strings.Builder
+	err := run([]string{"-scenario", "steady", "-sessions", "32", "-workers", "16", "-out", path}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput: %s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Kind != "bench-load" || len(rep.Results) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	r := rep.Results[0]
+	if r.Scenario != "steady" || r.Sessions != 32 || r.SharesOK != 96 || r.AcceptP99Ns <= 0 {
+		t.Errorf("result row = %+v", r)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-variant", "nope"}, &out); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

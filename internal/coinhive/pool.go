@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/blockchain"
 	"repro/internal/cryptonight"
+	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/stratum"
 )
@@ -53,6 +54,10 @@ type PoolConfig struct {
 	LinkShareDifficulty uint64
 	// FeePercent is the pool's cut (Coinhive: 30).
 	FeePercent int
+	// Metrics receives the pool's instruments (pool.* names). Nil gets a
+	// private registry, so instrumentation is always wired; the Server
+	// shares this registry for its server.* instruments and /metrics.
+	Metrics *metrics.Registry
 }
 
 func (c *PoolConfig) fillDefaults() {
@@ -76,6 +81,9 @@ func (c *PoolConfig) fillDefaults() {
 	}
 	if c.Clock == nil {
 		c.Clock = simclock.Real()
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
 	}
 }
 
@@ -151,10 +159,14 @@ type Pool struct {
 	targetHex     string
 	linkTargetHex string
 
-	sharesOK  atomic.Uint64
-	sharesBad atomic.Uint64
-	kept      atomic.Uint64 // pool's 30% cut, cumulative
-	paid      atomic.Uint64 // users' 70%, cumulative
+	// Share accounting counters live in the metrics registry, so the
+	// same atomics feed StatsSnapshot and /metrics exposition.
+	sharesOK     *metrics.Counter
+	sharesBad    *metrics.Counter
+	blocksFound  *metrics.Counter
+	shardRefresh *metrics.Counter
+	kept         atomic.Uint64 // pool's 30% cut, cumulative
+	paid         atomic.Uint64 // users' 70%, cumulative
 
 	// settleMu serialises the rare won-a-block path: chain append, reward
 	// settlement and the found-block record.
@@ -177,10 +189,14 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	}
 	cryptonight.PutHasher(h)
 	p := &Pool{
-		cfg:      cfg,
-		variant:  variant,
-		links:    NewLinkStore(),
-		captchas: NewCaptchaService(cfg.Wallet[:16]),
+		cfg:          cfg,
+		variant:      variant,
+		links:        NewLinkStore(),
+		captchas:     NewCaptchaService(cfg.Wallet[:16]),
+		sharesOK:     cfg.Metrics.Counter("pool.shares_ok"),
+		sharesBad:    cfg.Metrics.Counter("pool.shares_bad"),
+		blocksFound:  cfg.Metrics.Counter("pool.blocks_found"),
+		shardRefresh: cfg.Metrics.Counter("pool.shard_refresh"),
 	}
 	for i := range p.stripes {
 		p.stripes[i].accts = map[string]*Account{}
@@ -221,6 +237,9 @@ func (p *Pool) ShareDifficulty(lowDiff bool) uint64 {
 
 // Chain exposes the underlying chain.
 func (p *Pool) Chain() *blockchain.Chain { return p.cfg.Chain }
+
+// Metrics exposes the registry the pool's instruments live in.
+func (p *Pool) Metrics() *metrics.Registry { return p.cfg.Metrics }
 
 // NumEndpoints returns the number of public WebSocket endpoints.
 func (p *Pool) NumEndpoints() int { return p.cfg.NumBackends * p.cfg.EndpointsPerBackend }
@@ -286,6 +305,7 @@ func parseJobID(id string) (backend int, seq uint32, slot int, link bool, ok boo
 func (p *Pool) refreshShardLocked(sh *backendShard, backend int, tip [32]byte) {
 	sh.tip = tip
 	sh.refreshSeq++
+	p.shardRefresh.Inc()
 	ts := uint64(p.cfg.Clock.Now().Unix())
 	for s := range sh.templates {
 		var extra [8]byte
@@ -557,6 +577,7 @@ func (p *Pool) settleLocked(b *blockchain.Block, backend int) {
 	// shares this round) stays with the pool.
 	p.kept.Add(reward - distributed)
 	p.paid.Add(distributed)
+	p.blocksFound.Inc()
 	height := p.cfg.Chain.Height()
 	p.found = append(p.found, FoundBlock{
 		Height: height, Timestamp: b.Timestamp, Backend: backend, Reward: reward,

@@ -6,9 +6,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fingerprint"
+	"repro/internal/metrics"
 	"repro/internal/stratum"
 	"repro/internal/ws"
 )
@@ -31,14 +34,103 @@ var CoinHive=(function(){
 })();`
 
 // Server is the HTTP/WebSocket front of the service: the 32 /proxyN pool
-// endpoints, the miner assets, and the cnhv.co short-link pages.
+// endpoints, the miner assets, the cnhv.co short-link pages and the
+// /metrics exposition.
 type Server struct {
 	Pool    *Pool
 	connSeq uint64
+
+	// Live ws sessions, tracked so Shutdown can complete a proper close
+	// handshake on each instead of leaving miners to time out on a dead
+	// TCP connection.
+	connMu   sync.Mutex
+	conns    map[*ws.Conn]struct{}
+	draining bool
+
+	sessions      *metrics.Gauge   // live ws miner sessions (peak = max concurrency)
+	sessionsTotal *metrics.Counter // sessions ever accepted
+	authReject    *metrics.Counter // sessions dropped during auth
+	jobsSent      *metrics.Counter // job messages fanned out
+	submitNs      *metrics.Histogram
 }
 
-// NewServer wraps a pool.
-func NewServer(p *Pool) *Server { return &Server{Pool: p} }
+// NewServer wraps a pool, registering the server.* instruments in the
+// pool's metrics registry.
+func NewServer(p *Pool) *Server {
+	reg := p.Metrics()
+	return &Server{
+		Pool:          p,
+		conns:         map[*ws.Conn]struct{}{},
+		sessions:      reg.Gauge("server.sessions"),
+		sessionsTotal: reg.Counter("server.sessions_total"),
+		authReject:    reg.Counter("server.auth_reject"),
+		jobsSent:      reg.Counter("server.jobs_sent"),
+		submitNs:      reg.Histogram("server.submit_ns"),
+	}
+}
+
+// trackConn registers a live session; it reports false when the server
+// is draining, in which case the caller must turn the miner away.
+func (s *Server) trackConn(c *ws.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(c *ws.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// Shutdown stops accepting miner sessions and closes every live one with
+// a 1001 (going away) close handshake. The HTTP listener is the caller's
+// to stop (http.Server.Shutdown); this drains what that cannot reach —
+// hijacked WebSocket connections.
+//
+// Each session's serveWS reader is still running, so the close frame is
+// only queued here (InitiateClose); the reader consumes the peer's close
+// reply and tears the transport down cleanly — closing the socket
+// directly would race unread in-flight data and could turn the
+// handshake into a TCP reset. The read deadline bounds the drain when a
+// peer never replies.
+func (s *Server) Shutdown() {
+	s.connMu.Lock()
+	s.draining = true
+	open := make([]*ws.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.connMu.Unlock()
+	for _, c := range open {
+		c.InitiateClose(ws.CloseGoingAway, "server shutting down")
+		_ = c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	}
+}
+
+// Drained reports whether every miner session has finished its close
+// handshake, waiting up to timeout. Callers that exit the process after
+// Shutdown should wait here first, or the OS teardown races the
+// handshakes Shutdown queued.
+func (s *Server) Drained(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.connMu.Lock()
+		n := len(s.conns)
+		s.connMu.Unlock()
+		if n == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 // ServeHTTP routes all service endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -68,6 +160,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveCaptchaVerify(w, r)
 	case path == "/api/stats":
 		s.serveStats(w)
+	case path == "/metrics":
+		s.serveMetrics(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -160,6 +254,19 @@ func (s *Server) serveStats(w http.ResponseWriter) {
 	json.NewEncoder(w).Encode(st)
 }
 
+// serveMetrics exposes the registry: text by default, the machine-read
+// form with ?format=json.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.Pool.Metrics()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	reg.WriteText(w)
+}
+
 // serveWS runs one miner session on endpoint n.
 func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 	conn, err := ws.Upgrade(w, r)
@@ -167,12 +274,23 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 		return
 	}
 	defer conn.Close()
+	if !s.trackConn(conn) {
+		_ = conn.CloseWithCode(ws.CloseGoingAway, "server shutting down")
+		return
+	}
+	defer s.untrackConn(conn)
+	s.sessionsTotal.Inc()
+	s.sessions.Inc()
+	defer s.sessions.Dec()
 	slot := int(atomic.AddUint64(&s.connSeq, 1))
 
 	send := func(msgType string, params interface{}) error {
 		data, err := stratum.Marshal(msgType, params)
 		if err != nil {
 			return err
+		}
+		if msgType == stratum.TypeJob {
+			s.jobsSent.Inc()
 		}
 		return conn.WriteMessage(ws.OpText, data)
 	}
@@ -187,11 +305,13 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 	}
 	env, err := stratum.Unmarshal(data)
 	if err != nil || env.Type != stratum.TypeAuth {
+		s.authReject.Inc()
 		fail("expected auth")
 		return
 	}
 	var auth stratum.Auth
 	if err := env.Decode(&auth); err != nil || auth.SiteKey == "" {
+		s.authReject.Inc()
 		fail("invalid site key")
 		return
 	}
@@ -201,12 +321,14 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 	case strings.HasPrefix(auth.User, "link:"):
 		linkID = strings.TrimPrefix(auth.User, "link:")
 		if _, err := s.Pool.Links().Get(linkID); err != nil {
+			s.authReject.Inc()
 			fail("unknown link")
 			return
 		}
 	case strings.HasPrefix(auth.User, "captcha:"):
 		captchaID = strings.TrimPrefix(auth.User, "captcha:")
 		if _, err := s.Pool.Captchas().Credit(captchaID, 0); err != nil {
+			s.authReject.Inc()
 			fail("unknown captcha")
 			return
 		}
@@ -251,7 +373,9 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 		}
 		var result [32]byte
 		copy(result[:], resBytes)
+		verifyStart := time.Now()
 		out, err := s.Pool.SubmitShare(auth.SiteKey, sub.JobID, nonce, result, linkID)
+		s.submitNs.Observe(time.Since(verifyStart))
 		switch err {
 		case nil:
 			if err := send(stratum.TypeHashAccepted, stratum.HashAccepted{Hashes: int64(out.Credited)}); err != nil {

@@ -1,0 +1,161 @@
+package coinhive_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/cryptonight"
+	"repro/internal/session"
+	"repro/internal/simclock"
+	"repro/internal/stratum"
+	"repro/internal/ws"
+)
+
+// startService boots the full HTTP/WS front over a low-difficulty pool.
+func startService(t *testing.T, shareDiff uint64) (*httptest.Server, *coinhive.Server, *coinhive.Pool) {
+	t.Helper()
+	params := blockchain.SimParams()
+	params.MinDifficulty = 1 << 40 // shares never win blocks in these tests
+	chain, err := blockchain.NewChain(params, 1_525_000_000, blockchain.AddressFromString("genesis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain:           chain,
+		Wallet:          blockchain.AddressFromString("coinhive"),
+		Clock:           simclock.New(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)),
+		ShareDifficulty: shareDiff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := coinhive.NewServer(pool)
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv, handler, pool
+}
+
+func wsProxyURL(srv *httptest.Server, n int) string {
+	return "ws" + strings.TrimPrefix(srv.URL, "http") + "/proxy" + string(rune('0'+n))
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, pool := startService(t, 2)
+
+	// One full miner turn so the instruments have something to show.
+	sess, err := session.Dial(wsProxyURL(srv, 0), stratum.Auth{SiteKey: "metrics-key", Type: "anonymous"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	_, job, err := sess.Login()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cryptonight.GetHasher(pool.Chain().Params().PowVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, sum, _, found := h.Grind(job.Blob, job.NonceOffset, job.Target, 0, 1<<16)
+	cryptonight.PutHasher(h)
+	if !found {
+		t.Fatal("no share found at difficulty 2")
+	}
+	if err := sess.Submit(job.ID, nonce, sum); err != nil {
+		t.Fatal(err)
+	}
+	env, err := sess.ReadEnvelope()
+	if err != nil || env.Type != stratum.TypeHashAccepted {
+		t.Fatalf("submit reply = (%v, %v), want hash_accepted", env.Type, err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pool.shares_ok counter 1",
+		"server.sessions gauge 1 peak=1",
+		"server.jobs_sent counter",
+		"server.submit_ns histogram count=1",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json exposition Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(js), `"pool.shares_ok"`) {
+		t.Errorf("json exposition missing pool.shares_ok: %s", js)
+	}
+}
+
+func TestServerShutdownClosesSessions(t *testing.T) {
+	srv, handler, _ := startService(t, 2)
+
+	var sessions []*session.Session
+	for i := 0; i < 3; i++ {
+		s, err := session.Dial(wsProxyURL(srv, i), stratum.Auth{SiteKey: "drain-key", Type: "anonymous"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, _, err := s.Login(); err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+
+	handler.Shutdown()
+
+	// Every live session must observe a proper 1001 close handshake.
+	for i, s := range sessions {
+		s.Timeout = 5 * time.Second
+		_, err := s.ReadEnvelope()
+		var ce *ws.CloseError
+		if !errors.As(err, &ce) {
+			t.Fatalf("session %d: err = %v, want CloseError", i, err)
+		}
+		if ce.Code != ws.CloseGoingAway {
+			t.Errorf("session %d: close code = %d, want %d", i, ce.Code, ws.CloseGoingAway)
+		}
+	}
+
+	// Reading the close frame also sent each client's reply, so the
+	// server side must now drain: every handshake completes and the
+	// session set empties.
+	if !handler.Drained(5 * time.Second) {
+		t.Error("server sessions did not drain after the close handshakes")
+	}
+
+	// New miners are turned away with the same handshake. The server may
+	// close before the client writes anything, so dial the raw ws layer
+	// and just read.
+	late, err := ws.Dial(wsProxyURL(srv, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	_, _, err = late.ReadMessage()
+	var ce *ws.CloseError
+	if !errors.As(err, &ce) || ce.Code != ws.CloseGoingAway {
+		t.Errorf("late dial: err = %v, want 1001 CloseError", err)
+	}
+}

@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// InprocTarget is a full coinhive service on an ephemeral loopback port
+// — the self-contained target for `loadd -inproc` and the load-smoke CI
+// gate. The swarm still crosses real TCP sockets and the real ws+stratum
+// stack; "in-process" only means nobody has to start a daemon first.
+type InprocTarget struct {
+	URL     string // ws://127.0.0.1:port
+	Pool    *coinhive.Pool
+	Handler *coinhive.Server
+	srv     *http.Server
+}
+
+// StartInproc boots a service whose share difficulty is tuned for load
+// generation (a low difficulty keeps the oracle's one-time pre-grind to
+// a handful of hashes per PoW input) and whose network difficulty floor
+// is high enough that no replayed share ever wins a block mid-run.
+func StartInproc(shareDiff uint64, reg *metrics.Registry) (*InprocTarget, error) {
+	params := blockchain.SimParams()
+	params.MinDifficulty = 1 << 40
+	chain, err := blockchain.NewChain(params, uint64(time.Now().Unix()),
+		blockchain.AddressFromString("loadgen-genesis"))
+	if err != nil {
+		return nil, err
+	}
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain:           chain,
+		Wallet:          blockchain.AddressFromString("loadgen-wallet"),
+		Clock:           simclock.Real(),
+		ShareDifficulty: shareDiff,
+		Metrics:         reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	handler := coinhive.NewServer(pool)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	return &InprocTarget{
+		URL:     "ws://" + ln.Addr().String(),
+		Pool:    pool,
+		Handler: handler,
+		srv:     srv,
+	}, nil
+}
+
+// HTTPURL returns the plain-HTTP base (for /metrics, /api/stats).
+func (t *InprocTarget) HTTPURL() string {
+	return "http" + strings.TrimPrefix(t.URL, "ws")
+}
+
+// Close drains ws sessions with a close handshake and stops the server.
+func (t *InprocTarget) Close() {
+	t.Handler.Shutdown()
+	t.srv.Close()
+}

@@ -1,0 +1,632 @@
+// Package loadgen drives a live coinhive service with a swarm of
+// protocol-faithful miner sessions — the measurement axis the paper's
+// object demands: Coinhive at peak held hundreds of thousands of
+// concurrent browser miners on ~32 WebSocket endpoints, so scale claims
+// about the reproduction must come from a service under socket load,
+// not from in-process benchmarks.
+//
+// Two design points make thousands of sessions viable on one CPU:
+//
+//   - Sessions are state machines multiplexed onto a small worker pool,
+//     not goroutine-per-session. The dialect is strictly client-clocked
+//     (the pool only ever speaks in response to a client message), so a
+//     parked session never has unsolicited data to read — it holds a
+//     file descriptor and ~nothing else. Only the W sessions currently
+//     mid-turn occupy a stack.
+//
+//   - Sessions replay shares from a pre-grinding Oracle instead of
+//     mining, so the swarm pays protocol cost, not PoW cost (see
+//     oracle.go).
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cryptonight"
+	"repro/internal/metrics"
+	"repro/internal/session"
+	"repro/internal/stratum"
+	"repro/internal/ws"
+)
+
+// Config sizes a swarm against one service.
+type Config struct {
+	// URL is the service base, e.g. ws://127.0.0.1:8080 — sessions
+	// round-robin across its /proxy0…/proxyN-1 endpoints.
+	URL string
+	// Endpoints is the /proxyN fan (default 32, the paper's topology).
+	Endpoints int
+	// Sessions is the swarm size.
+	Sessions int
+	// Workers is the goroutine pool executing session turns (default
+	// 128 — the knob that decouples session count from stack count).
+	Workers int
+	// Scenario is the load shape.
+	Scenario Scenario
+	// Variant must match the pool chain's PoW profile.
+	Variant cryptonight.Variant
+	// Timeout bounds each socket read (default 10s).
+	Timeout time.Duration
+	// Deadline bounds the whole run (default 60s); exceeding it is an
+	// error, not a hang.
+	Deadline time.Duration
+	// Registry receives the load.* instruments. Passing the target
+	// pool's own registry gives one unified /metrics view; nil gets a
+	// private one.
+	Registry *metrics.Registry
+	// OracleMaxHashes bounds the per-input pre-grind (see Oracle).
+	OracleMaxHashes int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Endpoints == 0 {
+		c.Endpoints = 32
+	}
+	if c.Sessions == 0 {
+		c.Sessions = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 128
+	}
+	if c.Workers > c.Sessions {
+		c.Workers = c.Sessions
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 60 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+}
+
+// Result is one load run's trajectory point.
+type Result struct {
+	Scenario       string  `json:"scenario"`
+	Sessions       int     `json:"sessions"`
+	Workers        int     `json:"workers"`
+	PeakConcurrent int64   `json:"peak_concurrent"`
+	EndConcurrent  int64   `json:"end_concurrent"` // live sessions at the all-parked barrier
+	Connects       uint64  `json:"connects"`
+	Reconnects     uint64  `json:"reconnects"`
+	SharesOK       uint64  `json:"shares_ok"`
+	SharesRejected uint64  `json:"shares_rejected"` // expected rejections (malformed scenario)
+	ProtocolErrors uint64  `json:"protocol_errors"`
+	OracleGrinds   uint64  `json:"oracle_grinds"`
+	DurationNs     int64   `json:"duration_ns"`
+	SharesPerSec   float64 `json:"shares_per_sec"`
+	AcceptP50Ns    int64   `json:"accept_p50_ns"`
+	AcceptP99Ns    int64   `json:"accept_p99_ns"`
+	AcceptMaxNs    int64   `json:"accept_max_ns"`
+	ConnectP99Ns   int64   `json:"connect_p99_ns"`
+
+	// ErrorSamples holds the first few protocol-error descriptions, for
+	// diagnosis when the zero-error assertion fails.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// minerSession is one session's state between turns. While parked it is
+// exactly this struct plus a socket — no goroutine.
+type minerSession struct {
+	idx           int
+	url           string
+	siteKey       string
+	sess          *session.Session
+	job           session.Job
+	turnsLeft     int
+	sinceChurn    int
+	malformedSeq  int
+	dialAttempts  int
+	connectedOnce bool
+	dead          bool
+}
+
+// phaseGate counts sessions down to an all-parked barrier.
+type phaseGate struct {
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+func newGate(n int) *phaseGate {
+	g := &phaseGate{done: make(chan struct{})}
+	g.remaining.Store(int64(n))
+	return g
+}
+
+func (g *phaseGate) finish() {
+	if g.remaining.Add(-1) == 0 {
+		close(g.done)
+	}
+}
+
+// Swarm is one configured load run.
+type Swarm struct {
+	cfg    Config
+	oracle *Oracle
+	runq   chan *minerSession
+	quit   chan struct{}
+	gate   *phaseGate
+
+	active     *metrics.Gauge
+	connects   *metrics.Counter
+	reconnects *metrics.Counter
+	sharesOK   *metrics.Counter
+	sharesRej  *metrics.Counter
+	protoErrs  *metrics.Counter
+	acceptNs   *metrics.Histogram
+	connectNs  *metrics.Histogram
+
+	errMu      sync.Mutex
+	errSamples []string
+}
+
+// NewSwarm validates the config and wires the instruments.
+func NewSwarm(cfg Config) (*Swarm, error) {
+	cfg.fillDefaults()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadgen: Config.URL is required")
+	}
+	if cfg.Scenario.Name == "" {
+		return nil, fmt.Errorf("loadgen: Config.Scenario is required")
+	}
+	reg := cfg.Registry
+	return &Swarm{
+		cfg:    cfg,
+		oracle: NewOracle(cfg.Variant, cfg.OracleMaxHashes),
+		// The queue holds every session plus slack, so enqueues from
+		// workers and timers never block.
+		runq:       make(chan *minerSession, cfg.Sessions+cfg.Workers),
+		quit:       make(chan struct{}),
+		active:     reg.Gauge("load.sessions"),
+		connects:   reg.Counter("load.connects"),
+		reconnects: reg.Counter("load.reconnects"),
+		sharesOK:   reg.Counter("load.shares_ok"),
+		sharesRej:  reg.Counter("load.shares_rejected"),
+		protoErrs:  reg.Counter("load.proto_errors"),
+		acceptNs:   reg.Histogram("load.accept_ns"),
+		connectNs:  reg.Histogram("load.connect_ns"),
+	}, nil
+}
+
+// Run executes the scenario and returns its trajectory point.
+func Run(cfg Config) (Result, error) {
+	sw, err := NewSwarm(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return sw.Run()
+}
+
+// Run drives arrivals, waits for the all-parked barrier, optionally
+// runs the reconnect storm, then drains the swarm with proper close
+// handshakes.
+func (sw *Swarm) Run() (Result, error) {
+	start := time.Now()
+	deadline := time.After(sw.cfg.Deadline)
+	sc := sw.cfg.Scenario
+
+	for w := 0; w < sw.cfg.Workers; w++ {
+		go sw.worker()
+	}
+	defer close(sw.quit)
+
+	sessions := make([]*minerSession, sw.cfg.Sessions)
+	for i := range sessions {
+		sessions[i] = &minerSession{
+			idx:       i,
+			url:       fmt.Sprintf("%s/proxy%d", strings.TrimSuffix(sw.cfg.URL, "/"), i%sw.cfg.Endpoints),
+			siteKey:   fmt.Sprintf("swarm-%04d", i),
+			turnsLeft: sc.Turns,
+		}
+	}
+
+	// Phase 1: open-loop ramp-in.
+	sw.gate = newGate(len(sessions))
+	for i, s := range sessions {
+		sw.later(s, time.Duration(i)*sc.Ramp/time.Duration(len(sessions)))
+	}
+	if err := sw.await(deadline, "ramp phase"); err != nil {
+		return sw.result(start), err
+	}
+
+	if sc.Storm {
+		// Sever every connection without a close handshake — an endpoint
+		// death — then reconnect the whole swarm at once.
+		alive := 0
+		for _, s := range sessions {
+			if s.dead {
+				continue
+			}
+			if s.sess != nil {
+				_ = s.sess.Conn.NetConn().Close()
+				s.sess = nil
+				sw.active.Dec()
+			}
+			s.turnsLeft = 1
+			alive++
+		}
+		sw.gate = newGate(alive)
+		for _, s := range sessions {
+			if !s.dead {
+				sw.enqueue(s)
+			}
+		}
+		if err := sw.await(deadline, "storm phase"); err != nil {
+			return sw.result(start), err
+		}
+	}
+
+	res := sw.result(start)
+
+	// Drain: proper close handshake on every surviving session.
+	for _, s := range sessions {
+		if s.sess != nil {
+			_ = s.sess.Close()
+			s.sess = nil
+			sw.active.Dec()
+		}
+	}
+	return res, nil
+}
+
+func (sw *Swarm) await(deadline <-chan time.Time, phase string) error {
+	select {
+	case <-sw.gate.done:
+		return nil
+	case <-deadline:
+		return fmt.Errorf("loadgen: %s did not complete within %s (%d sessions still running)",
+			phase, sw.cfg.Deadline, sw.gate.remaining.Load())
+	}
+}
+
+func (sw *Swarm) result(start time.Time) Result {
+	acc := sw.acceptNs.Snapshot()
+	conn := sw.connectNs.Snapshot()
+	dur := time.Since(start)
+	r := Result{
+		Scenario:       sw.cfg.Scenario.Name,
+		Sessions:       sw.cfg.Sessions,
+		Workers:        sw.cfg.Workers,
+		PeakConcurrent: sw.active.Peak(),
+		EndConcurrent:  sw.active.Load(),
+		Connects:       sw.connects.Load(),
+		Reconnects:     sw.reconnects.Load(),
+		SharesOK:       sw.sharesOK.Load(),
+		SharesRejected: sw.sharesRej.Load(),
+		ProtocolErrors: sw.protoErrs.Load(),
+		OracleGrinds:   sw.oracle.Grinds(),
+		DurationNs:     int64(dur),
+		AcceptP50Ns:    int64(acc.P50),
+		AcceptP99Ns:    int64(acc.P99),
+		AcceptMaxNs:    int64(acc.Max),
+		ConnectP99Ns:   int64(conn.P99),
+	}
+	if dur > 0 {
+		r.SharesPerSec = float64(r.SharesOK) / dur.Seconds()
+	}
+	sw.errMu.Lock()
+	r.ErrorSamples = append([]string(nil), sw.errSamples...)
+	sw.errMu.Unlock()
+	return r
+}
+
+func (sw *Swarm) worker() {
+	for {
+		select {
+		case s := <-sw.runq:
+			sw.step(s)
+		case <-sw.quit:
+			return
+		}
+	}
+}
+
+func (sw *Swarm) enqueue(s *minerSession) {
+	select {
+	case sw.runq <- s:
+	case <-sw.quit:
+	}
+}
+
+// later re-enqueues s after d — the timer stands in for the session's
+// goroutine while it thinks.
+func (sw *Swarm) later(s *minerSession, d time.Duration) {
+	if d <= 0 {
+		sw.enqueue(s)
+		return
+	}
+	time.AfterFunc(d, func() { sw.enqueue(s) })
+}
+
+// protoError counts an unexpected protocol event and keeps the first few
+// descriptions for diagnosis.
+func (sw *Swarm) protoError(s *minerSession, context string, err error) error {
+	sw.protoErrs.Inc()
+	sw.errMu.Lock()
+	if len(sw.errSamples) < 8 {
+		sw.errSamples = append(sw.errSamples, fmt.Sprintf("session %d: %s: %v", s.idx, context, err))
+	}
+	sw.errMu.Unlock()
+	if err == nil {
+		return fmt.Errorf("%s", context)
+	}
+	return err
+}
+
+// step runs one session action on a worker: connect, one turn, or park.
+func (sw *Swarm) step(s *minerSession) {
+	if s.dead {
+		return
+	}
+	if s.sess == nil {
+		if err := sw.connect(s); err != nil {
+			s.dialAttempts++
+			if s.dialAttempts >= 3 {
+				_ = sw.protoError(s, "connect failed permanently", err)
+				s.dead = true
+				sw.gate.finish()
+				return
+			}
+			sw.later(s, 50*time.Millisecond)
+			return
+		}
+		s.dialAttempts = 0
+	}
+	if s.turnsLeft <= 0 {
+		sw.gate.finish() // parked: holds its socket, no goroutine
+		return
+	}
+
+	var err error
+	if sw.cfg.Scenario.Malformed && s.turnsLeft%2 == 0 {
+		err = sw.malformedTurn(s)
+	} else {
+		err = sw.validTurn(s)
+	}
+	if err != nil {
+		// The turn already counted the protocol error; recycle the
+		// transport and retry the remaining turns on a fresh session.
+		sw.dropConn(s)
+		sw.later(s, 50*time.Millisecond)
+		return
+	}
+	s.turnsLeft--
+	if s.turnsLeft <= 0 {
+		sw.gate.finish()
+		return
+	}
+	if ce := sw.cfg.Scenario.ChurnEvery; ce > 0 {
+		s.sinceChurn++
+		if s.sinceChurn >= ce {
+			s.sinceChurn = 0
+			sw.closeConn(s)
+		}
+	}
+	sw.later(s, sw.cfg.Scenario.Think)
+}
+
+// connect dials, authenticates and receives the first job.
+func (sw *Swarm) connect(s *minerSession) error {
+	t0 := time.Now()
+	sess, err := session.Dial(s.url, stratum.Auth{SiteKey: s.siteKey, Type: "anonymous"})
+	if err != nil {
+		return err
+	}
+	sess.Timeout = sw.cfg.Timeout
+	_, job, err := sess.Login()
+	if err != nil {
+		_ = sess.Close()
+		return err
+	}
+	sw.connectNs.Observe(time.Since(t0))
+	s.sess, s.job = sess, job
+	sw.active.Inc()
+	if s.connectedOnce {
+		sw.reconnects.Inc()
+	} else {
+		sw.connects.Inc()
+		s.connectedOnce = true
+	}
+	return nil
+}
+
+// closeConn performs the proper closing handshake (churn, drain).
+func (sw *Swarm) closeConn(s *minerSession) {
+	if s.sess == nil {
+		return
+	}
+	_ = s.sess.Close()
+	s.sess = nil
+	sw.active.Dec()
+}
+
+// dropConn tears the transport down abruptly (after an error; the
+// session no longer trusts the stream state).
+func (sw *Swarm) dropConn(s *minerSession) {
+	if s.sess == nil {
+		return
+	}
+	_ = s.sess.Conn.NetConn().Close()
+	s.sess = nil
+	sw.active.Dec()
+}
+
+// validTurn submits one oracle share and expects hash_accepted followed
+// by the next job. A job push without an accept means the submitted job
+// went stale (chain tip moved); the turn retries on the fresh job.
+func (sw *Swarm) validTurn(s *minerSession) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		nonce, sum, err := sw.oracle.Solve(s.job)
+		if err != nil {
+			return sw.protoError(s, "oracle", err)
+		}
+		t0 := time.Now()
+		if err := s.sess.Submit(s.job.ID, nonce, sum); err != nil {
+			return sw.protoError(s, "submit write", err)
+		}
+		accepted := false
+		for {
+			env, err := s.sess.ReadEnvelope()
+			if err != nil {
+				return sw.protoError(s, "read after submit", err)
+			}
+			switch env.Type {
+			case stratum.TypeHashAccepted:
+				sw.acceptNs.Observe(time.Since(t0))
+				sw.sharesOK.Inc()
+				accepted = true
+			case stratum.TypeJob:
+				if err := sw.adoptJob(s, env); err != nil {
+					return err
+				}
+				if accepted {
+					return nil
+				}
+				// Stale job: the server silently re-issued work.
+			case stratum.TypeError:
+				var e stratum.Error
+				_ = env.Decode(&e)
+				return sw.protoError(s, "valid share rejected", fmt.Errorf("%s", e.Error))
+			default:
+				return sw.protoError(s, "unexpected reply to valid share", fmt.Errorf("type %q", env.Type))
+			}
+			if !accepted {
+				break // retry the submit against the fresh job
+			}
+		}
+	}
+	return sw.protoError(s, "job stayed stale across retries", nil)
+}
+
+// expect reads the next envelope and requires the given type.
+func (sw *Swarm) expect(s *minerSession, want string) (stratum.Envelope, error) {
+	env, err := s.sess.ReadEnvelope()
+	if err != nil {
+		return env, sw.protoError(s, "read expecting "+want, err)
+	}
+	if env.Type != want {
+		return env, sw.protoError(s, "expecting "+want, fmt.Errorf("got %q", env.Type))
+	}
+	return env, nil
+}
+
+// adoptJob decodes a job envelope into the session.
+func (sw *Swarm) adoptJob(s *minerSession, env stratum.Envelope) error {
+	var j stratum.Job
+	if err := env.Decode(&j); err != nil {
+		return sw.protoError(s, "job decode", err)
+	}
+	job, err := session.DecodeJob(j)
+	if err != nil {
+		return sw.protoError(s, "job decode", err)
+	}
+	s.job = job
+	return nil
+}
+
+// malformedTurn sends one of five protocol violations and verifies the
+// server's exact dialect response. The violations mirror what a hostile
+// or broken web client can actually emit; the expected responses are
+// pinned by the server tests, so a deviation here is a real regression
+// on either side.
+func (sw *Swarm) malformedTurn(s *minerSession) error {
+	// Offset the rotation by session index so a swarm covers all five
+	// kinds even when each session only gets a few malformed turns.
+	kind := (s.idx + s.malformedSeq) % 5
+	s.malformedSeq++
+	goodResult := strings.Repeat("ab", 32)
+	switch kind {
+	case 0: // nonce not hex → error reply, session lives
+		if err := s.sess.Send(stratum.TypeSubmit, stratum.Submit{
+			Version: 7, JobID: s.job.ID, Nonce: "zz!!zz!!", Result: goodResult,
+		}); err != nil {
+			return sw.protoError(s, "malformed submit write", err)
+		}
+		if _, err := sw.expect(s, stratum.TypeError); err != nil {
+			return err
+		}
+		sw.sharesRej.Inc()
+	case 1: // result wrong length → error reply, session lives
+		if err := s.sess.Send(stratum.TypeSubmit, stratum.Submit{
+			Version: 7, JobID: s.job.ID, Nonce: stratum.EncodeNonce(1), Result: "abcd",
+		}); err != nil {
+			return sw.protoError(s, "malformed submit write", err)
+		}
+		if _, err := sw.expect(s, stratum.TypeError); err != nil {
+			return err
+		}
+		sw.sharesRej.Inc()
+	case 2: // unknown job → silent fresh job, no error
+		if err := s.sess.Send(stratum.TypeSubmit, stratum.Submit{
+			Version: 7, JobID: "9999-1-0", Nonce: stratum.EncodeNonce(1), Result: goodResult,
+		}); err != nil {
+			return sw.protoError(s, "malformed submit write", err)
+		}
+		env, err := sw.expect(s, stratum.TypeJob)
+		if err != nil {
+			return err
+		}
+		if err := sw.adoptJob(s, env); err != nil {
+			return err
+		}
+		sw.sharesRej.Inc()
+	case 3: // well-formed but wrong result → error, then fresh job
+		for attempt := 0; ; attempt++ {
+			if err := s.sess.Send(stratum.TypeSubmit, stratum.Submit{
+				Version: 7, JobID: s.job.ID, Nonce: stratum.EncodeNonce(0xdeadbeef), Result: goodResult,
+			}); err != nil {
+				return sw.protoError(s, "malformed submit write", err)
+			}
+			env, err := s.sess.ReadEnvelope()
+			if err != nil {
+				return sw.protoError(s, "read after malformed submit", err)
+			}
+			// A lone job push (no error) means our job ID went stale
+			// before the server could score the result — the same silent
+			// re-issue validTurn handles. Retry against the fresh job.
+			if env.Type == stratum.TypeJob {
+				if err := sw.adoptJob(s, env); err != nil {
+					return err
+				}
+				if attempt >= 2 {
+					return sw.protoError(s, "job stayed stale across retries", nil)
+				}
+				continue
+			}
+			if env.Type != stratum.TypeError {
+				return sw.protoError(s, "expecting error", fmt.Errorf("got %q", env.Type))
+			}
+			env, err = sw.expect(s, stratum.TypeJob)
+			if err != nil {
+				return err
+			}
+			if err := sw.adoptJob(s, env); err != nil {
+				return err
+			}
+			sw.sharesRej.Inc()
+			break
+		}
+	case 4: // garbage envelope → error, then the server hangs up
+		if err := s.sess.Conn.WriteMessage(ws.OpText, []byte("{definitely not json")); err != nil {
+			return sw.protoError(s, "garbage write", err)
+		}
+		if _, err := sw.expect(s, stratum.TypeError); err != nil {
+			return err
+		}
+		if _, err := s.sess.ReadEnvelope(); err == nil {
+			return sw.protoError(s, "server kept a session alive after a garbage envelope", nil)
+		}
+		// The hang-up is the expected outcome; reconnect without
+		// counting an error.
+		sw.closeConn(s)
+		sw.sharesRej.Inc()
+	}
+	return nil
+}

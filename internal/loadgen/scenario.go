@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Scenario is one load shape. The schedules are open-loop: arrivals
+// follow the ramp regardless of how the service keeps up, the way
+// short-link visitors arrived at cnhv.co pages whether or not the pool
+// was fast — backlog is part of the measurement, not an error.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Turns is the number of share-submission exchanges per session.
+	Turns int
+	// Ramp spreads session arrivals uniformly over this window.
+	Ramp time.Duration
+	// Think delays a session between turns (slow clients: the server
+	// must hold the socket while the "visitor" reads the page).
+	Think time.Duration
+	// ChurnEvery, when >0, makes a session close properly and reconnect
+	// after every ChurnEvery turns — the short-session churn of visitors
+	// bouncing through links.
+	ChurnEvery int
+	// Storm, when set, abruptly severs every connection (no close
+	// handshake, as if an endpoint died) once all sessions are parked,
+	// then reconnects the whole swarm at once.
+	Storm bool
+	// Malformed, when set, interleaves protocol-violating submits (bad
+	// hex, wrong lengths, unknown jobs, garbage JSON) with valid ones
+	// and verifies the server answers each exactly as the dialect
+	// specifies.
+	Malformed bool
+}
+
+// scenarios is the named catalogue. Sessions/workers are sizing knobs on
+// Config, not part of the shape.
+var scenarios = map[string]Scenario{
+	"steady": {
+		Name:        "steady",
+		Description: "uniform ramp-in, every session mines then parks",
+		Turns:       3,
+		Ramp:        2 * time.Second,
+	},
+	"churn": {
+		Name:        "churn",
+		Description: "sessions close and reconnect after every share",
+		Turns:       3,
+		Ramp:        2 * time.Second,
+		ChurnEvery:  1,
+	},
+	"storm": {
+		Name:        "storm",
+		Description: "full swarm severed without handshake, then a reconnect storm",
+		Turns:       2,
+		Ramp:        1 * time.Second,
+		Storm:       true,
+	},
+	"slow": {
+		Name:        "slow",
+		Description: "slow clients: long think time between shares, sockets held open",
+		Turns:       2,
+		Ramp:        1 * time.Second,
+		Think:       750 * time.Millisecond,
+	},
+	"malformed": {
+		Name:        "malformed",
+		Description: "hostile clients: malformed shares interleaved with valid ones",
+		Turns:       6,
+		Ramp:        1 * time.Second,
+		Malformed:   true,
+	},
+	"smoke": {
+		Name:        "smoke",
+		Description: "CI gate: fast ramp, two turns, park, assert zero protocol errors",
+		Turns:       2,
+		Ramp:        1500 * time.Millisecond,
+	},
+}
+
+// ScenarioByName resolves a named scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	s, ok := scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return s, nil
+}
+
+// ScenarioNames lists the catalogue in stable order.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

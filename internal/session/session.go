@@ -1,0 +1,181 @@
+// Package session implements the client half of the pool dialect — the
+// dial + auth handshake and the job decode (hex, de-obfuscation, nonce
+// offset recovery) every miner-side component repeats before it can do
+// anything useful. It is shared by the webminer (which then grinds real
+// nonces) and the loadgen swarm (which replays pre-ground ones); keeping
+// the protocol plumbing in one place is what guarantees the two speak
+// the identical dialect the server is tested against.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/stratum"
+	"repro/internal/ws"
+)
+
+// Job is a decoded, de-obfuscated PoW input ready for nonce search.
+// WireBlob and WireTarget keep the exact strings the pool sent: together
+// they identify the PoW input independent of the (refresh-scoped) job ID,
+// which is what the loadgen share oracle keys its cache on.
+type Job struct {
+	ID          string
+	Blob        []byte
+	Target      uint32
+	NonceOffset int
+	WireBlob    string
+	WireTarget  string
+}
+
+// DecodeJob decodes a wire job: hex decode, revert the fixed-offset XOR
+// (the step the official miner hides "deep within its WebAssembly"), and
+// recover the nonce offset from the header prefix.
+func DecodeJob(j stratum.Job) (Job, error) {
+	blob, err := stratum.DecodeBlob(j.Blob)
+	if err != nil {
+		return Job{}, err
+	}
+	stratum.ObfuscateBlob(blob)
+	target, err := stratum.DecodeTarget(j.Target)
+	if err != nil {
+		return Job{}, err
+	}
+	off, err := NonceOffset(blob)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{
+		ID: j.JobID, Blob: blob, Target: target, NonceOffset: off,
+		WireBlob: j.Blob, WireTarget: j.Target,
+	}, nil
+}
+
+// NonceOffset returns the nonce position in a (de-obfuscated) hashing
+// blob by skipping the three leading varints (major, minor, timestamp)
+// and the 32-byte prev hash.
+func NonceOffset(blob []byte) (int, error) {
+	off := 0
+	for i := 0; i < 3; i++ {
+		for {
+			if off >= len(blob) {
+				return 0, errors.New("session: truncated blob")
+			}
+			b := blob[off]
+			off++
+			if b&0x80 == 0 {
+				break
+			}
+		}
+	}
+	off += 32 // prev hash
+	if off+4+32 > len(blob) {
+		return 0, errors.New("session: truncated blob")
+	}
+	return off, nil
+}
+
+// Session is one authenticated miner connection.
+type Session struct {
+	Conn *ws.Conn
+	// Timeout bounds each read; zero means block forever. A load
+	// generator sets it so a stalled server surfaces as a counted error
+	// instead of a stuck worker.
+	Timeout time.Duration
+}
+
+// Dial connects to a pool endpoint and sends the auth message. The
+// server's authed/job replies are read by Login (or directly via
+// ReadEnvelope) so callers can overlap dials.
+func Dial(url string, auth stratum.Auth) (*Session, error) {
+	conn, err := ws.Dial(url, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{Conn: conn}
+	if err := s.Send(stratum.TypeAuth, auth); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Send marshals params into an envelope and writes it as one text frame,
+// applying the session timeout to the write when one is set.
+func (s *Session) Send(msgType string, params interface{}) error {
+	data, err := stratum.Marshal(msgType, params)
+	if err != nil {
+		return err
+	}
+	if s.Timeout > 0 {
+		if err := s.Conn.SetWriteDeadline(time.Now().Add(s.Timeout)); err != nil {
+			return err
+		}
+	}
+	return s.Conn.WriteMessage(ws.OpText, data)
+}
+
+// Submit reports a found (or replayed) share for the given job.
+func (s *Session) Submit(jobID string, nonce uint32, result [32]byte) error {
+	return s.Send(stratum.TypeSubmit, stratum.Submit{
+		Version: 7, JobID: jobID,
+		Nonce:  stratum.EncodeNonce(nonce),
+		Result: stratum.EncodeBlob(result[:]),
+	})
+}
+
+// ReadEnvelope reads the next message and decodes the outer envelope,
+// applying the session timeout when one is set.
+func (s *Session) ReadEnvelope() (stratum.Envelope, error) {
+	if s.Timeout > 0 {
+		if err := s.Conn.SetReadDeadline(time.Now().Add(s.Timeout)); err != nil {
+			return stratum.Envelope{}, err
+		}
+	}
+	_, data, err := s.Conn.ReadMessage()
+	if err != nil {
+		return stratum.Envelope{}, err
+	}
+	return stratum.Unmarshal(data)
+}
+
+// Login completes the handshake after Dial: it expects authed followed
+// by the first job (exactly what the pool sends) and returns both. A
+// pool-side rejection surfaces as an error carrying the server's text.
+func (s *Session) Login() (stratum.Authed, Job, error) {
+	var authed stratum.Authed
+	gotAuthed := false
+	for {
+		env, err := s.ReadEnvelope()
+		if err != nil {
+			return authed, Job{}, err
+		}
+		switch env.Type {
+		case stratum.TypeAuthed:
+			if err := env.Decode(&authed); err != nil {
+				return authed, Job{}, err
+			}
+			gotAuthed = true
+		case stratum.TypeJob:
+			if !gotAuthed {
+				return authed, Job{}, errors.New("session: job before authed")
+			}
+			var j stratum.Job
+			if err := env.Decode(&j); err != nil {
+				return authed, Job{}, err
+			}
+			job, err := DecodeJob(j)
+			return authed, job, err
+		case stratum.TypeError:
+			var e stratum.Error
+			_ = env.Decode(&e)
+			return authed, Job{}, fmt.Errorf("session: pool rejected login: %s", e.Error)
+		default:
+			return authed, Job{}, fmt.Errorf("session: unexpected %s during login", env.Type)
+		}
+	}
+}
+
+// Close performs the closing handshake.
+func (s *Session) Close() error { return s.Conn.Close() }

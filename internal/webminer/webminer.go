@@ -15,8 +15,8 @@ import (
 	"sync"
 
 	"repro/internal/cryptonight"
+	"repro/internal/session"
 	"repro/internal/stratum"
-	"repro/internal/ws"
 )
 
 // Client mines against one pool endpoint.
@@ -56,75 +56,12 @@ type Result struct {
 	ResolvedURL    string // destination if a short link resolved
 }
 
-// jobState is a decoded, deobfuscated job ready for nonce search.
-type jobState struct {
-	id          string
-	blob        []byte
-	target      uint32
-	nonceOffset int
-}
-
-func decodeJob(j stratum.Job) (jobState, error) {
-	blob, err := stratum.DecodeBlob(j.Blob)
-	if err != nil {
-		return jobState{}, err
-	}
-	// Revert the fixed-offset XOR — the step the official miner hides
-	// "deep within its WebAssembly".
-	stratum.ObfuscateBlob(blob)
-	target, err := stratum.DecodeTarget(j.Target)
-	if err != nil {
-		return jobState{}, err
-	}
-	// The nonce offset is derivable from the header prefix; parsing the
-	// blob (now deobfuscated) recovers it.
-	hdr, _, _, err := parseHeaderPrefix(blob)
-	if err != nil {
-		return jobState{}, err
-	}
-	return jobState{id: j.JobID, blob: blob, target: target, nonceOffset: hdr}, nil
-}
-
-// parseHeaderPrefix returns the nonce offset by skipping the three leading
-// varints and the 32-byte prev hash.
-func parseHeaderPrefix(blob []byte) (nonceOffset int, root []byte, numTx uint64, err error) {
-	off := 0
-	for i := 0; i < 3; i++ { // major, minor, timestamp
-		for {
-			if off >= len(blob) {
-				return 0, nil, 0, errors.New("webminer: truncated blob")
-			}
-			b := blob[off]
-			off++
-			if b&0x80 == 0 {
-				break
-			}
-		}
-	}
-	off += 32 // prev hash
-	if off+4+32 > len(blob) {
-		return 0, nil, 0, errors.New("webminer: truncated blob")
-	}
-	return off, blob[off+4 : off+36], 0, nil
-}
-
 // Mine connects, authenticates and keeps submitting shares until
 // wantShares have been accepted or (when LinkID is set) the link resolves.
+// The dial/login/job-decode plumbing lives in internal/session, shared
+// with the loadgen swarm.
 func (c *Client) Mine(wantShares int) (Result, error) {
 	var res Result
-	conn, err := ws.Dial(c.URL, nil)
-	if err != nil {
-		return res, err
-	}
-	defer conn.Close()
-
-	send := func(msgType string, params interface{}) error {
-		data, err := stratum.Marshal(msgType, params)
-		if err != nil {
-			return err
-		}
-		return conn.WriteMessage(ws.OpText, data)
-	}
 	user := ""
 	switch {
 	case c.LinkID != "":
@@ -132,9 +69,11 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 	case c.CaptchaID != "":
 		user = "captcha:" + c.CaptchaID
 	}
-	if err := send(stratum.TypeAuth, stratum.Auth{SiteKey: c.SiteKey, Type: "anonymous", User: user}); err != nil {
+	sess, err := session.Dial(c.URL, stratum.Auth{SiteKey: c.SiteKey, Type: "anonymous", User: user})
+	if err != nil {
 		return res, err
 	}
+	defer sess.Close()
 
 	threads := c.Threads
 	if threads < 1 {
@@ -164,7 +103,7 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 		maxHashes = 1 << 22
 	}
 
-	var job *jobState
+	var job *session.Job
 	for {
 		if job != nil {
 			nonce, result, hashes, found := solveParallel(hashers, job, c.cursor, maxHashes)
@@ -174,22 +113,14 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 				job = nil // exhausted: wait for fresh work after a dummy submit cycle
 				return res, fmt.Errorf("webminer: exhausted %d hashes without a share", maxHashes)
 			}
-			if err := send(stratum.TypeSubmit, stratum.Submit{
-				Version: 7, JobID: job.id,
-				Nonce:  stratum.EncodeNonce(nonce),
-				Result: stratum.EncodeBlob(result[:]),
-			}); err != nil {
+			if err := sess.Submit(job.ID, nonce, result); err != nil {
 				return res, err
 			}
 			job = nil
 		}
 		// Drain messages until the next job arrives.
 		for job == nil {
-			_, data, err := conn.ReadMessage()
-			if err != nil {
-				return res, err
-			}
-			env, err := stratum.Unmarshal(data)
+			env, err := sess.ReadEnvelope()
 			if err != nil {
 				return res, err
 			}
@@ -218,7 +149,7 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 				if err := env.Decode(&j); err != nil {
 					return res, err
 				}
-				js, err := decodeJob(j)
+				js, err := session.DecodeJob(j)
 				if err != nil {
 					return res, err
 				}
@@ -237,7 +168,7 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 // thread pool uses so workers never duplicate an attempt. Each worker
 // grinds in short bursts of the cryptonight kernel, checking for a
 // sibling's win between bursts.
-func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
+func solveParallel(hashers []*cryptonight.Hasher, job *session.Job, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
 	if len(hashers) == 1 {
 		return solve(hashers[0], job, start, maxHashes)
 	}
@@ -274,7 +205,7 @@ func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, m
 				if batch > burst {
 					batch = burst
 				}
-				bn, sum, hs, ok := h.GrindStride(job.blob, job.nonceOffset, job.target, n, stride, batch)
+				bn, sum, hs, ok := h.GrindStride(job.Blob, job.NonceOffset, job.Target, n, stride, batch)
 				local += hs
 				if ok {
 					results <- hit{nonce: bn, sum: sum, hashes: local, found: true}
@@ -304,8 +235,8 @@ func solveParallel(hashers []*cryptonight.Hasher, job *jobState, start uint32, m
 
 // solve searches nonces sequentially from start until the compact target
 // is met.
-func solve(h *cryptonight.Hasher, job *jobState, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
-	return h.Grind(job.blob, job.nonceOffset, job.target, start, maxHashes)
+func solve(h *cryptonight.Hasher, job *session.Job, start uint32, maxHashes int) (nonce uint32, result [32]byte, hashes int, found bool) {
+	return h.Grind(job.Blob, job.NonceOffset, job.Target, start, maxHashes)
 }
 
 // LinkPageInfo is what the paper's scraper extracted from every cnhv.co

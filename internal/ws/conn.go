@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // DefaultMaxMessage bounds assembled message size (16 MiB): miner protocol
@@ -48,6 +49,20 @@ func newConn(nc net.Conn, br *bufio.Reader, client bool) *Conn {
 
 // SetMaxMessage bounds the assembled message size in bytes.
 func (c *Conn) SetMaxMessage(n int64) { c.maxMsg = n }
+
+// SetReadDeadline bounds future reads; a zero time removes the bound.
+// Load generators use it so a stalled peer parks a session instead of a
+// worker goroutine.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds future writes; a zero time removes the bound.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
+// NetConn exposes the underlying transport. It exists for peers that
+// need to step outside the protocol — deliberately malformed clients in
+// load tests, and abrupt (no close handshake) teardown when simulating
+// network failure. Normal users never need it.
+func (c *Conn) NetConn() net.Conn { return c.nc }
 
 // LocalAddr returns the underlying transport address.
 func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
@@ -126,6 +141,21 @@ func (c *Conn) ReadMessage() (Opcode, []byte, error) {
 	for {
 		f, err := ReadFrame(c.br, c.maxMsg)
 		if err != nil {
+			// A frame-level protocol violation (oversize or fragmented
+			// control frame, reserved bits, non-minimal length) must be
+			// answered with a close handshake, not just a dropped TCP
+			// connection — RFC 6455 §7.1.7 "Fail the WebSocket Connection".
+			// A spec-correct peer (the loadgen swarm's malformed-client
+			// scenario) distinguishes a 1002/1009 close from a raw reset.
+			switch {
+			case errors.Is(err, ErrFrameTooBig):
+				c.failConnection(CloseTooBig, "frame exceeds read limit")
+			case errors.Is(err, ErrControlTooLong),
+				errors.Is(err, ErrFragmentedControl),
+				errors.Is(err, ErrReservedBits),
+				errors.Is(err, ErrBadLength):
+				c.failConnection(CloseProtocolError, err.Error())
+			}
 			return 0, nil, err
 		}
 		// Enforce masking direction (RFC 6455 §5.1).
@@ -209,6 +239,16 @@ func (c *Conn) shutdown() {
 	c.closed = true
 	c.writeMu.Unlock()
 	_ = c.nc.Close()
+}
+
+// InitiateClose queues the closing handshake: it sends a close frame but
+// leaves the transport open, so a concurrent reader can consume the
+// peer's close reply (ReadMessage completes the handshake and only then
+// tears down). Closing the socket before the peer's reply is read risks
+// a TCP RST that discards the close frame; use CloseWithCode only when
+// no reader is running.
+func (c *Conn) InitiateClose(code uint16, reason string) {
+	c.writeCloseOnce(code, reason)
 }
 
 // Close performs the closing handshake with a normal status and tears down

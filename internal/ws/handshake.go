@@ -12,10 +12,14 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
 // guid is the fixed handshake GUID from RFC 6455 §1.3.
 const guid = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// handshakeTimeout bounds Dial's opening handshake I/O.
+const handshakeTimeout = 30 * time.Second
 
 // AcceptKey computes the Sec-WebSocket-Accept value for a client key.
 func AcceptKey(clientKey string) string {
@@ -106,6 +110,13 @@ func Dial(rawURL string, tlsCfg *tls.Config) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bound the opening handshake: a peer that accepts TCP but never
+	// answers the upgrade must not wedge the caller forever (load
+	// generators dial by the thousand). Cleared once the Conn exists.
+	if err := nc.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		nc.Close()
+		return nil, err
+	}
 	var keyBytes [16]byte
 	if _, err := rand.Read(keyBytes[:]); err != nil {
 		nc.Close()
@@ -140,6 +151,10 @@ func Dial(rawURL string, tlsCfg *tls.Config) (*Conn, error) {
 	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != AcceptKey(key) {
 		nc.Close()
 		return nil, fmt.Errorf("ws: bad Sec-WebSocket-Accept %q", got)
+	}
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		nc.Close()
+		return nil, err
 	}
 	return newConn(nc, br, true), nil
 }

@@ -255,6 +255,81 @@ func TestCloseHandshakeSurfacesCode(t *testing.T) {
 	}
 }
 
+// TestControlFrameViolationGets1002Close verifies RFC 6455 §7.1.7: a
+// peer that sends an oversize or fragmented control frame must be failed
+// with a close handshake carrying 1002 (protocol error), not just a
+// dropped transport. The malformed client writes raw bytes below the
+// framing layer, since WriteFrame itself refuses to produce these.
+func TestControlFrameViolationGets1002Close(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		// FIN+ping with a 16-bit length of 128: payload over the 125-byte
+		// control limit.
+		{"oversize ping", []byte{0x89, 126, 0x00, 0x80}},
+		// FIN=0 ping: fragmented control frame.
+		{"fragmented ping", []byte{0x09, 0x00}},
+		// Reserved bit set on a data frame.
+		{"reserved bits", []byte{0xC2, 0x00}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := echoServer(t)
+			defer s.Close()
+			c, err := Dial(wsURL(s), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.NetConn().Write(tc.raw); err != nil {
+				t.Fatal(err)
+			}
+			// The server must answer with a close frame carrying 1002,
+			// which surfaces here as a CloseError.
+			_, _, err = c.ReadMessage()
+			var ce *CloseError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want CloseError", err)
+			}
+			if ce.Code != CloseProtocolError {
+				t.Errorf("close code = %d, want %d", ce.Code, CloseProtocolError)
+			}
+		})
+	}
+}
+
+// TestOversizeFrameGets1009Close verifies the size limit is failed with
+// 1009 (message too big) rather than a silent teardown.
+func TestOversizeFrameGets1009Close(t *testing.T) {
+	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.SetMaxMessage(64)
+		c.ReadMessage()
+	}))
+	defer s.Close()
+	c, err := Dial(wsURL(s), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteMessage(OpBinary, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.ReadMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CloseError", err)
+	}
+	if ce.Code != CloseTooBig {
+		t.Errorf("close code = %d, want %d", ce.Code, CloseTooBig)
+	}
+}
+
 func TestUpgradeRejectsPlainHTTP(t *testing.T) {
 	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, err := Upgrade(w, r); err != ErrNotWebSocket {
