@@ -19,9 +19,10 @@ test: build
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the concurrent pool core and its drivers.
+# Race-detector pass over the concurrent pool core and its drivers
+# (including the TCP stratum push fan-out and the loadgen swarm).
 test-race:
-	$(GO) test -race ./internal/coinhive/... ./internal/webminer/...
+	$(GO) test -race ./internal/coinhive/... ./internal/webminer/... ./internal/loadgen/...
 
 # CI gate: static checks (including building cmd/bench and the other
 # tools), the fast suite under the race detector, and the live-service
@@ -32,13 +33,16 @@ check:
 	$(GO) test -short -race ./...
 	$(MAKE) load-smoke
 
-# Live-service gate (≈10s): 1,000 concurrent ws miner sessions against an
+# Live-service gate (≈10s): both transports — 500 concurrent ws miner
+# sessions, then 500 concurrent raw-TCP stratum sessions — against an
 # in-process coinhived, zero protocol errors or the target fails.
 load-smoke:
 	$(GO) run ./cmd/loadd -smoke
 
-# Full load-scenario catalogue (steady/churn/storm/slow/malformed/smoke)
-# at swarm scale; writes the trajectory point to BENCH_load.json.
+# Full load-scenario catalogue (ws: steady/churn/storm/slow/malformed/
+# smoke; tcp: tcp-steady/tcp-storm/tcp-smoke; both: mixed) at swarm
+# scale; writes the trajectory point to BENCH_load.json, including the
+# server-side job-push fan-out p99 for the server-clocked scenarios.
 load:
 	$(GO) run ./cmd/loadd -scenario all -sessions 1000 -out BENCH_load.json
 

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	coinhived [-listen :8080] [-share-diff 256] [-link-diff 16]
+//	coinhived [-listen :8080] [-stratum-addr :3333] [-share-diff 256] [-link-diff 16]
 //	coinhived -smoke        # boot the service, serve one stats request, exit
 //
 // Endpoints:
 //
-//	ws://host/proxy0 … /proxy31   pool endpoints
+//	ws://host/proxy0 … /proxy31   pool endpoints (browser dialect)
+//	tcp://host:3333               raw-TCP JSON-RPC stratum (native miners)
 //	/lib/coinhive.min.js          miner loader
 //	/lib/cryptonight.wasm         miner payload
 //	/cn/{id}                      short-link interstitial
@@ -18,9 +19,13 @@
 //	/api/stats                    pool statistics
 //	/metrics                      instrument exposition (?format=json)
 //
+// Both fronts drive one miner-session engine, so /metrics and /api/stats
+// aggregate across dialects. -stratum-addr "" disables the TCP front.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
-// connections, completes a 1001 close handshake on every live miner
-// session, and flushes the final pool stats and metrics to stdout.
+// connections, completes a 1001 close handshake on every live ws miner
+// session, drains the TCP stratum sessions, and flushes the final pool
+// stats and metrics to stdout.
 package main
 
 import (
@@ -56,6 +61,7 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("coinhived", flag.ContinueOnError)
 	listen := fs.String("listen", ":8080", "listen address")
+	stratumAddr := fs.String("stratum-addr", ":3333", `raw-TCP stratum listen address ("" disables)`)
 	shareDiff := fs.Uint64("share-diff", 256, "per-share difficulty")
 	linkDiff := fs.Uint64("link-diff", 16, "short-link share difficulty")
 	minDiff := fs.Uint64("min-difficulty", 1<<22, "network difficulty floor")
@@ -108,23 +114,49 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "coinhived: %d pool endpoints on %s (chain difficulty %d)\n",
 		pool.NumEndpoints(), ln.Addr(), chain.NextDifficulty())
 
+	// The raw-TCP stratum front shares the ws front's engine, so session
+	// accounting and /metrics span both dialects.
+	var stratumSrv *coinhive.StratumServer
+	if *stratumAddr != "" {
+		sln, err := net.Listen("tcp", *stratumAddr)
+		if err != nil {
+			return err
+		}
+		stratumSrv = coinhive.NewStratumServer(handler.Engine())
+		go func() {
+			// Serve only returns on a closed listener (shutdown) or an
+			// unrecoverable accept error; the latter deserves a line an
+			// operator can see, because the ws front would keep running.
+			if err := stratumSrv.Serve(sln); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(out, "coinhived: stratum front died: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(out, "coinhived: raw-TCP stratum on %s\n", sln.Addr())
+	}
+
 	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
+		if stratumSrv != nil {
+			stratumSrv.Shutdown()
+		}
 		return err
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: first complete the close handshake on every
 	// hijacked ws miner session (which http.Server.Shutdown cannot
-	// reach), then stop accepting and finish in-flight plain-HTTP
-	// requests, then flush the final numbers so an operator sees what
-	// the process achieved.
+	// reach) and drop the TCP stratum sessions, then stop accepting and
+	// finish in-flight plain-HTTP requests, then flush the final numbers
+	// so an operator sees what the process achieved.
 	fmt.Fprintln(out, "coinhived: signal received, shutting down")
 	handler.Shutdown()
+	if stratumSrv != nil {
+		stratumSrv.Shutdown()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -132,6 +164,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if !handler.Drained(4 * time.Second) {
 		fmt.Fprintln(out, "coinhived: some miner sessions never answered the close handshake")
+	}
+	if stratumSrv != nil && !stratumSrv.Drained(4*time.Second) {
+		fmt.Fprintln(out, "coinhived: some stratum sessions never drained")
 	}
 
 	st := pool.StatsSnapshot()

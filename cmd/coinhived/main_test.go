@@ -34,7 +34,7 @@ func TestGracefulShutdown(t *testing.T) {
 	var out syncBuilder
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, []string{"-listen", "127.0.0.1:0"}, &out)
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-stratum-addr", "127.0.0.1:0"}, &out)
 	}()
 
 	// Wait until the daemon reports it is listening, then signal.
@@ -59,7 +59,7 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal("daemon did not shut down")
 	}
 	got := out.String()
-	for _, want := range []string{"shutting down", "final stats", "pool.shares_ok counter"} {
+	for _, want := range []string{"raw-TCP stratum on", "shutting down", "final stats", "pool.shares_ok counter"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("shutdown output missing %q:\n%s", want, got)
 		}

@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	loadd -smoke                              # CI gate: in-process, ≥1000 sessions, zero protocol errors
+//	loadd -smoke                              # CI gate: 500 ws + 500 TCP sessions, zero protocol errors
 //	loadd -scenario all -out BENCH_load.json  # full catalogue against an in-process service
-//	loadd -target ws://host:8080 -scenario steady -sessions 2000
+//	loadd -target ws://host:8080 -target-tcp host:3333 -scenario tcp-steady -sessions 2000
 //
-// Without -target, loadd boots an in-process coinhived on a loopback
-// port; the swarm still crosses real TCP and the real WebSocket stack.
+// Without -target, loadd boots an in-process coinhived on loopback
+// ports — both the ws front and the raw-TCP stratum front — and wires
+// the tip-refresh hook the tcp-*/mixed scenarios use to exercise job
+// push fan-out; the swarm still crosses real TCP and the real protocol
+// stacks.
 package main
 
 import (
@@ -54,6 +57,7 @@ type report struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadd", flag.ContinueOnError)
 	target := fs.String("target", "", "ws:// base of a live service (empty: boot one in-process)")
+	targetTCP := fs.String("target-tcp", "", "host:port of a live service's raw-TCP stratum listener")
 	scenario := fs.String("scenario", "steady", `scenario name, or "all" for the catalogue`)
 	sessions := fs.Int("sessions", 1000, "swarm size")
 	workers := fs.Int("workers", 128, "worker goroutines multiplexing the sessions")
@@ -62,7 +66,7 @@ func run(args []string, out io.Writer) error {
 	variant := fs.String("variant", "test", "target's cryptonight profile: test, lite, full")
 	deadline := fs.Duration("deadline", 60*time.Second, "per-scenario time budget")
 	outFile := fs.String("out", "", "write the JSON report here")
-	smoke := fs.Bool("smoke", false, "CI gate: in-process smoke scenario, assert full concurrency and zero protocol errors")
+	smoke := fs.Bool("smoke", false, "CI gate: in-process smoke over both transports, assert full concurrency and zero protocol errors")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,10 +82,22 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown variant %q", *variant)
 	}
 
+	sessionsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "sessions" {
+			sessionsSet = true
+		}
+	})
 	names := []string{*scenario}
 	if *smoke {
-		names = []string{"smoke"}
+		// The gate covers both dialects: one full-size swarm over each
+		// transport, all sessions asserted below. The default shrinks to
+		// 500 per dialect (1,000 total); an explicit -sessions wins.
+		names = []string{"smoke", "tcp-smoke"}
 		*target = ""
+		if !sessionsSet {
+			*sessions = 500
+		}
 	} else if *scenario == "all" {
 		names = loadgen.ScenarioNames()
 	}
@@ -91,15 +107,28 @@ func run(args []string, out io.Writer) error {
 	// fresh one so every report row is per-scenario, not cumulative.
 	poolReg := metrics.NewRegistry()
 	url := *target
+	tcpAddr := *targetTCP
+	if url == "" && tcpAddr != "" {
+		// An orphan -target-tcp would be silently replaced by the
+		// in-process listener below, load-testing the wrong server while
+		// the report claims otherwise.
+		return fmt.Errorf("loadd: -target-tcp requires -target (without -target the run boots its own in-process service)")
+	}
+	var refresh func()
+	var inproc *loadgen.InprocTarget
 	if url == "" {
 		t, err := loadgen.StartInproc(*shareDiff, poolReg)
 		if err != nil {
 			return err
 		}
 		defer t.Close()
+		inproc = t
 		url = t.URL
+		tcpAddr = t.TCPAddr
+		refresh = t.AdvanceTip
 		v = t.Pool.Chain().Params().PowVariant
-		fmt.Fprintf(out, "loadd: in-process coinhived on %s (share difficulty %d)\n", url, *shareDiff)
+		fmt.Fprintf(out, "loadd: in-process coinhived on %s (stratum %s, share difficulty %d)\n",
+			url, tcpAddr, *shareDiff)
 	}
 
 	rep := report{
@@ -115,8 +144,21 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if sc.Transport != loadgen.TransportWS && tcpAddr == "" {
+			// A remote ws-only target cannot run the tcp/mixed scenarios;
+			// skip them (announced) instead of aborting a catalogue run
+			// halfway through and discarding the finished rows.
+			fmt.Fprintf(out, "loadd: skipping %s (target has no raw-TCP stratum listener; pass -target-tcp)\n", name)
+			continue
+		}
+		var pushCursor metrics.HistCursor
+		if inproc != nil {
+			pushCursor = inproc.Stratum.PushCursor()
+		}
 		res, err := loadgen.Run(loadgen.Config{
 			URL:       url,
+			TCPAddr:   tcpAddr,
+			Refresh:   refresh,
 			Endpoints: *endpoints,
 			Sessions:  *sessions,
 			Workers:   *workers,
@@ -128,17 +170,27 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w (samples: %v)", name, err, res.ErrorSamples)
 		}
+		if inproc != nil {
+			// Job-push fan-out is measured server-side; the cursor scopes
+			// both the count and the latency percentiles to this scenario.
+			pushes, lat := inproc.Stratum.PushStatsSince(pushCursor)
+			res.JobPushes = pushes
+			if pushes > 0 {
+				res.PushP99Ns = int64(lat.P99)
+			}
+		}
 		rep.Results = append(rep.Results, res)
-		fmt.Fprintf(out, "loadd: %-10s sessions=%d peak=%d shares_ok=%d shares/s=%.0f accept p50=%s p99=%s max=%s reconnects=%d proto_errors=%d\n",
-			res.Scenario, res.Sessions, res.PeakConcurrent, res.SharesOK, res.SharesPerSec,
+		fmt.Fprintf(out, "loadd: %-10s [%s] sessions=%d peak=%d shares_ok=%d shares/s=%.0f accept p50=%s p99=%s max=%s reconnects=%d pushes=%d push_p99=%s proto_errors=%d\n",
+			res.Scenario, res.Transport, res.Sessions, res.PeakConcurrent, res.SharesOK, res.SharesPerSec,
 			time.Duration(res.AcceptP50Ns), time.Duration(res.AcceptP99Ns), time.Duration(res.AcceptMaxNs),
-			res.Reconnects, res.ProtocolErrors)
+			res.Reconnects, res.JobPushes, time.Duration(res.PushP99Ns), res.ProtocolErrors)
 
 		if *smoke {
 			if err := assertSmoke(res, *sessions); err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "loadd: smoke OK — %d concurrent sessions sustained, zero protocol errors\n", res.EndConcurrent)
+			fmt.Fprintf(out, "loadd: %s OK — %d concurrent %s sessions sustained, zero protocol errors\n",
+				res.Scenario, res.EndConcurrent, res.Transport)
 		}
 	}
 

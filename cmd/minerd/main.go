@@ -1,10 +1,13 @@
 // Command minerd is the standalone non-browser miner: it connects to a
 // pool endpoint, authenticates with a site key, and mines shares — the
-// same client the short-link resolver is built on.
+// same client the short-link resolver is built on. The -pool URL scheme
+// picks the dialect: ws:// speaks the browser protocol, tcp:// the raw
+// JSON-RPC stratum native Monero miners use (server-pushed jobs).
 //
 // Usage:
 //
 //	minerd -pool ws://localhost:8080/proxy0 -key my-site-key [-shares 10]
+//	minerd -pool tcp://localhost:3333 -key my-site-key [-shares 10]
 //	minerd -pool ws://localhost:8080/proxy0 -key TOKEN -link ab3   # resolve a link
 package main
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -40,6 +41,46 @@ func TestRunMinesOneShare(t *testing.T) {
 	}
 	a, ok := pool.AccountSnapshot("smoke-key")
 	if !ok || a.TotalHashes != 8 {
+		t.Errorf("pool-side account = %+v", a)
+	}
+}
+
+// TestRunMinesOverTCPStratum drives the same miner through the raw-TCP
+// JSON-RPC dialect: only the -pool URL scheme changes.
+func TestRunMinesOverTCPStratum(t *testing.T) {
+	p := blockchain.SimParams()
+	p.MinDifficulty = 1 << 40
+	chain, err := blockchain.NewChain(p, 1_525_000_000, blockchain.AddressFromString("genesis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+		Chain:           chain,
+		Wallet:          blockchain.AddressFromString("coinhive"),
+		Clock:           simclock.New(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)),
+		ShareDifficulty: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := coinhive.NewServer(pool)
+	ss := coinhive.NewStratumServer(handler.Engine())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ss.Serve(ln)
+	defer ss.Shutdown()
+
+	var out strings.Builder
+	if err := run([]string{"-pool", "tcp://" + ln.Addr().String(), "-key", "tcp-smoke-key", "-shares", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "accepted 2 shares") {
+		t.Errorf("output = %q", out.String())
+	}
+	a, ok := pool.AccountSnapshot("tcp-smoke-key")
+	if !ok || a.TotalHashes != 16 {
 		t.Errorf("pool-side account = %+v", a)
 	}
 }

@@ -1,6 +1,7 @@
 // Quickstart: stand up the full stack — chain, Coinhive-clone pool with
-// its WebSocket front, and a web-miner client — then mine real shares
-// end-to-end and settle a block.
+// both its fronts (the browser WebSocket dialect and the raw-TCP
+// JSON-RPC stratum dialect native miners use), and a web-miner client —
+// then mine real shares end-to-end over each dialect and settle a block.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"time"
@@ -40,12 +42,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := httptest.NewServer(coinhive.NewServer(pool))
+	handler := coinhive.NewServer(pool)
+	srv := httptest.NewServer(handler)
 	defer srv.Close()
-	fmt.Printf("service up: %d pool endpoints, difficulty %d\n",
-		pool.NumEndpoints(), chain.NextDifficulty())
 
-	// 3. A web miner (the non-browser implementation) mining for a site key.
+	// Both network fronts are thin codecs over one miner-session engine:
+	// the ws Server above and this raw-TCP stratum listener share session
+	// accounting, metrics and the stale-tip re-job semantics.
+	stratumSrv := coinhive.NewStratumServer(handler.Engine())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go stratumSrv.Serve(ln)
+	defer stratumSrv.Shutdown()
+	fmt.Printf("service up: %d ws pool endpoints + stratum on %s, difficulty %d\n",
+		pool.NumEndpoints(), ln.Addr(), chain.NextDifficulty())
+
+	// 3. A web miner (the non-browser implementation) mining for a site
+	//    key over the browser dialect; session.Dial picks the codec from
+	//    the URL scheme, so the same client also speaks tcp://.
 	client := &webminer.Client{
 		URL:     "ws" + strings.TrimPrefix(srv.URL, "http") + "/proxy0",
 		SiteKey: "quickstart-site",
@@ -55,8 +71,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mined %d accepted shares with %d CryptoNight hashes\n",
+	fmt.Printf("mined %d accepted shares over ws with %d CryptoNight hashes\n",
 		res.SharesAccepted, res.HashesComputed)
+
+	tcpClient := &webminer.Client{
+		URL:     "tcp://" + ln.Addr().String(),
+		SiteKey: "quickstart-site",
+		Variant: cryptonight.Test,
+	}
+	tcpRes, err := tcpClient.Mine(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined %d accepted shares over raw-TCP stratum with %d hashes\n",
+		tcpRes.SharesAccepted, tcpRes.HashesComputed)
 
 	// 4. Pool-side accounting: credited hashes, found blocks, the 70/30 split.
 	acct, _ := pool.AccountSnapshot("quickstart-site")

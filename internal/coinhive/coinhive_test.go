@@ -285,10 +285,12 @@ func TestSubmitShareRejectsForgeries(t *testing.T) {
 		t.Errorf("fabricated generation: err = %v", err)
 	}
 	// Replay after tip change: force a new tip via ProduceWinningBlock.
+	// Unlike the forgeries above, this identifier was really minted, so
+	// the rejection names it stale.
 	if _, err := pool.ProduceWinningBlock(1_525_000_300, 0, 7); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.SubmitShare("t", j.JobID, nonce, sum, ""); err != ErrUnknownJob {
+	if _, err := pool.SubmitShare("t", j.JobID, nonce, sum, ""); err != ErrStaleJob {
 		t.Errorf("stale job: err = %v", err)
 	}
 }

@@ -1,0 +1,367 @@
+package coinhive
+
+import (
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stratum"
+)
+
+// This file is the miner-session engine: every dialect-independent rule of
+// the pool's session protocol — auth, link/captcha attachment, share
+// scoring, stale-tip re-jobs, session metrics — lives here exactly once,
+// as a state machine of decoded Commands in and Events out. Transports
+// (the ws+coinhive dialect in server.go, the raw-TCP JSON-RPC dialect in
+// stratumtcp.go) are thin codecs: they parse wire frames into Commands,
+// render Events back into their dialect, and never touch the Pool.
+
+// CmdKind classifies a decoded client message.
+type CmdKind uint8
+
+const (
+	// CmdOpen is the authentication request (ws auth / rpc login).
+	CmdOpen CmdKind = iota
+	// CmdSubmit is a fully decoded share submission.
+	CmdSubmit
+	// CmdKeepalive is a liveness ping (TCP dialect only).
+	CmdKeepalive
+	// CmdGarbage is a frame the codec could not parse at all.
+	CmdGarbage
+	// CmdBadParams is a recognised message with undecodable or malformed
+	// parameters; Reply carries the dialect error text.
+	CmdBadParams
+	// CmdUnknown is a well-formed message of a type/method the dialect
+	// does not define; Name carries it.
+	CmdUnknown
+)
+
+// Command is one decoded client message handed to the engine.
+type Command struct {
+	Kind   CmdKind
+	Auth   stratum.Auth // CmdOpen
+	JobID  string       // CmdSubmit
+	Nonce  uint32       // CmdSubmit
+	Result [32]byte     // CmdSubmit
+	Reply  string       // CmdBadParams: dialect error text
+	Name   string       // CmdUnknown: offending type/method
+
+	// Tag is transport correlation state (the JSON-RPC id) threaded
+	// through to Deliver untouched; the ws dialect leaves it nil.
+	Tag interface{}
+}
+
+// EventKind classifies an engine reply.
+type EventKind uint8
+
+const (
+	// EvAuthed acknowledges authentication.
+	EvAuthed EventKind = iota
+	// EvJob hands out a PoW input.
+	EvJob
+	// EvAccepted credits an accepted share.
+	EvAccepted
+	// EvLinkResolved reveals a short link's destination.
+	EvLinkResolved
+	// EvCaptchaVerified hands a solved captcha its one-time token.
+	EvCaptchaVerified
+	// EvKeepalive acknowledges a CmdKeepalive.
+	EvKeepalive
+	// EvError reports a protocol error; Fatal means the session must end
+	// after the event is delivered.
+	EvError
+)
+
+// Event is one engine-produced reply the transport must deliver, in order.
+type Event struct {
+	Kind     EventKind
+	Authed   stratum.Authed          // EvAuthed
+	Job      stratum.Job             // EvJob
+	Stale    bool                    // EvJob: re-issued because the submitted job went stale
+	Accepted stratum.HashAccepted    // EvAccepted
+	Link     stratum.LinkResolved    // EvLinkResolved
+	Captcha  stratum.CaptchaVerified // EvCaptchaVerified
+	Err      string                  // EvError
+	Fatal    bool                    // EvError: drop the session after delivering
+}
+
+// SessionTransport is the server side of one dialect connection: a codec
+// that parses the peer's frames into Commands and renders Events back.
+// ReadCommand returns an error only for transport-level death (EOF, close
+// handshake, read timeout); parse failures are themselves Commands so the
+// engine applies one set of rules to them. Deliver receives the session
+// (for dialect state such as push registration) and the command the
+// events answer (for correlation). ServerClocked reports whether the
+// dialect delivers fresh work by unsolicited push — for such dialects
+// the engine omits the routine job that follows every submit in the
+// client-clocked protocol (a stale re-job is still emitted: the client's
+// current job just died).
+type SessionTransport interface {
+	ReadCommand() (Command, error)
+	Deliver(ms *MinerSession, cmd Command, evs []Event) error
+	ServerClocked() bool
+}
+
+// Engine owns the dialect-independent half of the session protocol and
+// its instruments. Both network fronts (ws Server, TCP StratumServer)
+// drive one engine, so session metrics and share accounting aggregate
+// across transports.
+type Engine struct {
+	pool    *Pool
+	connSeq uint64
+
+	sessions      *metrics.Gauge   // live miner sessions across all transports
+	sessionsTotal *metrics.Counter // sessions ever accepted
+	authReject    *metrics.Counter // sessions dropped during auth
+	jobsSent      *metrics.Counter // job messages handed out (replies + pushes)
+	submitNs      *metrics.Histogram
+}
+
+// NewEngine wires an engine over a pool, registering the server.*
+// instruments in the pool's metrics registry. Instruments are registered
+// by name, so engines sharing a registry share instruments.
+func NewEngine(p *Pool) *Engine {
+	reg := p.Metrics()
+	return &Engine{
+		pool:          p,
+		sessions:      reg.Gauge("server.sessions"),
+		sessionsTotal: reg.Counter("server.sessions_total"),
+		authReject:    reg.Counter("server.auth_reject"),
+		jobsSent:      reg.Counter("server.jobs_sent"),
+		submitNs:      reg.Histogram("server.submit_ns"),
+	}
+}
+
+// Pool exposes the pool the engine fronts.
+func (e *Engine) Pool() *Pool { return e.pool }
+
+// NewSession opens one miner session on the given endpoint. The rotation
+// slot comes from a cross-transport sequence, so TCP and ws sessions
+// interleave over a backend's templates exactly as two ws endpoints do.
+func (e *Engine) NewSession(endpoint int) *MinerSession {
+	e.sessionsTotal.Inc()
+	e.sessions.Inc()
+	return &MinerSession{
+		eng:      e,
+		endpoint: endpoint,
+		slot:     int(atomic.AddUint64(&e.connSeq, 1)),
+	}
+}
+
+// ServeSession runs one session to completion: decode, step, deliver,
+// until the transport dies or the engine declares the session over. This
+// loop is the whole serve path of every dialect.
+func (e *Engine) ServeSession(endpoint int, t SessionTransport) {
+	ms := e.NewSession(endpoint)
+	ms.serverClocked = t.ServerClocked()
+	defer ms.Close()
+	for {
+		cmd, err := t.ReadCommand()
+		if err != nil {
+			return
+		}
+		evs := ms.Step(cmd)
+		if t.Deliver(ms, cmd, evs) != nil {
+			return
+		}
+		for i := range evs {
+			if evs[i].Kind == EvError && evs[i].Fatal {
+				return
+			}
+		}
+	}
+}
+
+// MinerSession is one miner's protocol state, independent of transport.
+// Step is called from a single goroutine (the transport's reader);
+// Authed/CurrentJob may be called concurrently (the TCP push fan-out).
+type MinerSession struct {
+	eng      *Engine
+	endpoint int
+	slot     int
+	// serverClocked mirrors the transport: such sessions get fresh work
+	// by push, so no routine job rides behind an accepted submit.
+	serverClocked bool
+
+	authed    atomic.Bool
+	siteKey   string
+	linkID    string
+	captchaID string
+	lowDiff   bool
+	closed    bool
+
+	evs []Event // reused reply buffer; valid until the next Step
+}
+
+// Authed reports whether the session has completed authentication. Safe
+// for concurrent use — the TCP fan-out uses it to skip pre-login conns.
+func (ms *MinerSession) Authed() bool { return ms.authed.Load() }
+
+// Close releases the session's slot in the live-session gauge. Idempotent.
+func (ms *MinerSession) Close() {
+	if ms.closed {
+		return
+	}
+	ms.closed = true
+	ms.eng.sessions.Dec()
+}
+
+// CurrentJob mints the session's current PoW input — what a server-clocked
+// transport pushes when the chain tip moves. Safe for concurrent use with
+// Step once the session is authed.
+func (ms *MinerSession) CurrentJob() stratum.Job {
+	ms.eng.jobsSent.Inc()
+	return ms.eng.pool.Job(ms.endpoint, ms.slot, ms.lowDiff)
+}
+
+func (ms *MinerSession) emit(ev Event) {
+	ms.evs = append(ms.evs, ev)
+}
+
+func (ms *MinerSession) emitJob(stale bool) {
+	ms.eng.jobsSent.Inc()
+	ms.emit(Event{
+		Kind:  EvJob,
+		Job:   ms.eng.pool.Job(ms.endpoint, ms.slot, ms.lowDiff),
+		Stale: stale,
+	})
+}
+
+func (ms *MinerSession) emitError(msg string, fatal bool) {
+	ms.emit(Event{Kind: EvError, Err: msg, Fatal: fatal})
+}
+
+// Step advances the state machine by one client message and returns the
+// replies to deliver, in order. The returned slice is reused by the next
+// Step.
+func (ms *MinerSession) Step(cmd Command) []Event {
+	ms.evs = ms.evs[:0]
+	if !ms.authed.Load() {
+		// The one legal first message is authentication; anything else —
+		// including frames the codec could not parse — is turned away
+		// exactly as the original dialect did.
+		if cmd.Kind != CmdOpen {
+			ms.eng.authReject.Inc()
+			ms.emitError("expected auth", true)
+			return ms.evs
+		}
+		return ms.open(cmd.Auth)
+	}
+	switch cmd.Kind {
+	case CmdOpen:
+		ms.emitError("unexpected "+stratum.TypeAuth, false)
+	case CmdSubmit:
+		ms.submit(cmd)
+	case CmdKeepalive:
+		ms.emit(Event{Kind: EvKeepalive})
+	case CmdGarbage:
+		ms.emitError("bad message", true)
+	case CmdBadParams:
+		ms.emitError(cmd.Reply, false)
+	case CmdUnknown:
+		ms.emitError("unexpected "+cmd.Name, false)
+	}
+	return ms.evs
+}
+
+// open authenticates the session: validate the site key, resolve link or
+// captcha attachment, and hand out the account ack plus the first job.
+func (ms *MinerSession) open(auth stratum.Auth) []Event {
+	p := ms.eng.pool
+	if auth.SiteKey == "" {
+		ms.eng.authReject.Inc()
+		ms.emitError("invalid site key", true)
+		return ms.evs
+	}
+	switch {
+	case strings.HasPrefix(auth.User, "link:"):
+		ms.linkID = strings.TrimPrefix(auth.User, "link:")
+		if _, err := p.Links().Get(ms.linkID); err != nil {
+			ms.eng.authReject.Inc()
+			ms.emitError("unknown link", true)
+			return ms.evs
+		}
+	case strings.HasPrefix(auth.User, "captcha:"):
+		ms.captchaID = strings.TrimPrefix(auth.User, "captcha:")
+		if _, err := p.Captchas().Credit(ms.captchaID, 0); err != nil {
+			ms.eng.authReject.Inc()
+			ms.emitError("unknown captcha", true)
+			return ms.evs
+		}
+	}
+	ms.lowDiff = ms.linkID != "" || ms.captchaID != ""
+	ms.siteKey = auth.SiteKey
+	acct := p.Authorize(auth.SiteKey)
+	ms.emit(Event{Kind: EvAuthed, Authed: stratum.Authed{
+		Token: acct.Token, Hashes: int64(acct.TotalHashes),
+	}})
+	ms.emitJob(false)
+	ms.authed.Store(true)
+	return ms.evs
+}
+
+// submit scores one decoded share and emits the dialect-independent
+// outcome: credit (plus link/captcha progress), a named rejection, or a
+// silent stale re-job.
+func (ms *MinerSession) submit(cmd Command) {
+	p := ms.eng.pool
+	verifyStart := time.Now()
+	out, err := p.SubmitShare(ms.siteKey, cmd.JobID, cmd.Nonce, cmd.Result, ms.linkID)
+	ms.eng.submitNs.Observe(time.Since(verifyStart))
+	stale := false
+	switch err {
+	case nil:
+		ms.emit(Event{Kind: EvAccepted, Accepted: stratum.HashAccepted{Hashes: int64(out.Credited)}})
+		if ms.linkID != "" {
+			if url, derr := p.Links().Destination(ms.linkID); derr == nil {
+				ms.emit(Event{Kind: EvLinkResolved, Link: stratum.LinkResolved{ID: ms.linkID, URL: url}})
+			}
+		}
+		if ms.captchaID != "" {
+			cap, cerr := p.Captchas().Credit(ms.captchaID, out.Diff)
+			if cerr == nil && cap.Solved() {
+				ms.emit(Event{Kind: EvCaptchaVerified, Captcha: stratum.CaptchaVerified{
+					ID: ms.captchaID, Token: cap.Token,
+				}})
+			}
+		}
+	case ErrStaleJob:
+		// Stale tip: the share was honest work against a job the chain has
+		// outrun. Count it and hand out fresh work; the transport decides
+		// whether its dialect names the condition (TCP) or stays silent (ws).
+		p.sharesStale.Inc()
+		stale = true
+	case ErrUnknownJob:
+		// Never-issued identifier. The wire answer is the same re-job the
+		// original dialect gave (pinned by the conformance scenarios), but
+		// it is not tip churn, so pool.shares_stale stays untouched.
+		stale = true
+	default:
+		ms.emitError(err.Error(), false)
+	}
+	// The client-clocked dialect re-jobs after every submit; a
+	// server-clocked one only when the submitted job died (its routine
+	// fresh work arrives by push, so minting a job here would be wasted
+	// shard work and an overcount of jobs actually handed out).
+	if stale || !ms.serverClocked {
+		ms.emitJob(stale)
+	}
+}
+
+// submitCommand decodes the wire-level share fields shared by every
+// dialect's submit message into a Command, so the validation rules (and
+// their reply texts) exist once regardless of codec.
+func submitCommand(jobID, nonceHex, resultHex string) Command {
+	nonce, err := stratum.DecodeNonce(nonceHex)
+	if err != nil {
+		return Command{Kind: CmdBadParams, Reply: "bad nonce"}
+	}
+	resBytes, err := stratum.DecodeBlob(resultHex)
+	if err != nil || len(resBytes) != 32 {
+		return Command{Kind: CmdBadParams, Reply: "bad result"}
+	}
+	cmd := Command{Kind: CmdSubmit, JobID: jobID, Nonce: nonce}
+	copy(cmd.Result[:], resBytes)
+	return cmd
+}

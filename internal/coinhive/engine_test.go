@@ -1,0 +1,272 @@
+package coinhive_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/coinhive"
+	"repro/internal/cryptonight"
+	"repro/internal/session"
+	"repro/internal/stratum"
+)
+
+// startStratum attaches a raw-TCP stratum front to an existing ws
+// service, sharing its engine, and returns the listener address. A
+// non-zero keepalive window must be configured here, before Serve.
+func startStratum(t *testing.T, handler *coinhive.Server, keepalive ...time.Duration) (*coinhive.StratumServer, string) {
+	t.Helper()
+	ss := coinhive.NewStratumServer(handler.Engine())
+	if len(keepalive) > 0 {
+		ss.KeepaliveWindow = keepalive[0]
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ss.Serve(ln)
+	t.Cleanup(ss.Shutdown)
+	return ss, ln.Addr().String()
+}
+
+// grindShare finds one nonce meeting the job's share target.
+func grindShare(t *testing.T, pool *coinhive.Pool, job session.Job) (uint32, [32]byte) {
+	t.Helper()
+	h, err := cryptonight.GetHasher(pool.Chain().Params().PowVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cryptonight.PutHasher(h)
+	nonce, sum, _, found := h.Grind(job.Blob, job.NonceOffset, job.Target, 0, 1<<16)
+	if !found {
+		t.Fatal("no share found within 1<<16 hashes")
+	}
+	return nonce, sum
+}
+
+// TestCrossTransportAccountingIdentical drives the same share stream
+// through each dialect against identically-seeded pools and requires the
+// accounting to match exactly — the acceptance bar for "both transports
+// drive the same engine".
+func TestCrossTransportAccountingIdentical(t *testing.T) {
+	const siteKey = "xdialect-key"
+	const shares = 3
+
+	// Two identically-seeded services: fixed genesis timestamp and
+	// clock, so templates (and therefore jobs) are byte-identical.
+	run := func(t *testing.T, dial func(srv *httptestServerPair) (*session.Session, error)) (coinhive.Stats, coinhive.Account, []string) {
+		srv := newServicePair(t, 4)
+		sess, err := dial(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		sess.Timeout = 5 * time.Second
+		_, job, err := sess.Login()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobIDs []string
+		nonce, sum := grindShare(t, srv.pool, job)
+		for i := 0; i < shares; i++ {
+			jobIDs = append(jobIDs, job.ID)
+			if err := sess.Submit(job.ID, nonce, sum); err != nil {
+				t.Fatal(err)
+			}
+			// One exchange: the server-clocked dialect resolves on the
+			// accept, the client-clocked one on the reply job behind it.
+			accepted := false
+			for done := false; !done; {
+				env, err := sess.ReadEnvelope()
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch env.Type {
+				case stratum.TypeHashAccepted:
+					accepted = true
+					done = sess.ServerClocked()
+				case stratum.TypeJob:
+					if !accepted {
+						t.Fatalf("job before accept on share %d", i)
+					}
+					var j stratum.Job
+					if err := env.Decode(&j); err != nil {
+						t.Fatal(err)
+					}
+					job, err = session.DecodeJob(j)
+					if err != nil {
+						t.Fatal(err)
+					}
+					done = true
+				default:
+					t.Fatalf("unexpected %s", env.Type)
+				}
+			}
+		}
+		acct, ok := srv.pool.AccountSnapshot(siteKey)
+		if !ok {
+			t.Fatal("account missing")
+		}
+		return srv.pool.StatsSnapshot(), acct, jobIDs
+	}
+
+	wsStats, wsAcct, wsJobs := run(t, func(srv *httptestServerPair) (*session.Session, error) {
+		return session.Dial(srv.wsURL(1), stratum.Auth{SiteKey: siteKey, Type: "anonymous"})
+	})
+	tcpStats, tcpAcct, tcpJobs := run(t, func(srv *httptestServerPair) (*session.Session, error) {
+		return session.Dial("tcp://"+srv.tcpAddr, stratum.Auth{SiteKey: siteKey, Type: "anonymous"})
+	})
+
+	// Identically-seeded pools must mint identical jobs for the first
+	// session regardless of dialect…
+	for i := range wsJobs {
+		if wsJobs[i] != tcpJobs[i] {
+			t.Errorf("share %d: job ID ws=%q tcp=%q", i, wsJobs[i], tcpJobs[i])
+		}
+	}
+	// …and the same share stream must account identically.
+	if wsStats != tcpStats {
+		t.Errorf("stats diverge:\n ws=%+v\ntcp=%+v", wsStats, tcpStats)
+	}
+	if wsAcct.TotalHashes != tcpAcct.TotalHashes || wsAcct.TotalHashes == 0 {
+		t.Errorf("credit diverges: ws=%d tcp=%d", wsAcct.TotalHashes, tcpAcct.TotalHashes)
+	}
+	if wsStats.SharesOK != shares {
+		t.Errorf("SharesOK = %d, want %d", wsStats.SharesOK, shares)
+	}
+}
+
+// httptestServerPair is one service with both fronts up.
+type httptestServerPair struct {
+	httpURL string
+	tcpAddr string
+	pool    *coinhive.Pool
+	handler *coinhive.Server
+}
+
+func (s *httptestServerPair) wsURL(n int) string {
+	return "ws" + strings.TrimPrefix(s.httpURL, "http") + fmt.Sprintf("/proxy%d", n)
+}
+
+// newServicePair boots identically-seeded ws + TCP fronts over one pool.
+// The ws endpoint to use for cross-transport comparisons is /proxy1: the
+// TCP front assigns its first connection endpoint 1 as well, and both
+// engines hand their first session rotation slot 1.
+func newServicePair(t *testing.T, shareDiff uint64) *httptestServerPair {
+	t.Helper()
+	srv, handler, pool := startService(t, shareDiff)
+	_, addr := startStratum(t, handler)
+	return &httptestServerPair{
+		httpURL: srv.URL,
+		tcpAddr: addr,
+		pool:    pool,
+		handler: handler,
+	}
+}
+
+// TestStaleShareCountedAndRejobbed moves the chain tip under a live ws
+// session and submits the now-stale share: the dialect answer is a
+// silent fresh job, and the engine must count it in pool.shares_stale /
+// StatsSnapshot.
+func TestStaleShareCountedAndRejobbed(t *testing.T) {
+	srv, _, pool := startService(t, 4)
+	sess, err := session.Dial(wsProxyURL(srv, 0), stratum.Auth{SiteKey: "stale-key", Type: "anonymous"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Timeout = 5 * time.Second
+	_, job, err := sess.Login()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, sum := grindShare(t, pool, job)
+
+	// The tip moves while the miner grinds.
+	if _, err := pool.ProduceWinningBlock(1_525_100_000, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sess.Submit(job.ID, nonce, sum); err != nil {
+		t.Fatal(err)
+	}
+	env, err := sess.ReadEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != stratum.TypeJob {
+		t.Fatalf("stale submit reply = %s, want silent job re-issue", env.Type)
+	}
+
+	st := pool.StatsSnapshot()
+	if st.SharesStale != 1 {
+		t.Errorf("SharesStale = %d, want 1", st.SharesStale)
+	}
+	if st.SharesOK != 0 {
+		t.Errorf("SharesOK = %d, want 0", st.SharesOK)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "pool.shares_stale counter 1") {
+		t.Errorf("/metrics missing pool.shares_stale:\n%s", text)
+	}
+}
+
+// TestCaptchaVerifiedMessageType pins the satellite: a solved captcha
+// session receives a dedicated captcha_verified push (not the old
+// link_resolved reuse), carrying a token the backend can redeem.
+func TestCaptchaVerifiedMessageType(t *testing.T) {
+	srv, _, pool := startService(t, 8)
+	cap := pool.Captchas().Create("widget-site", 8) // one 8-hash share solves it
+
+	sess, err := session.Dial(wsProxyURL(srv, 0), stratum.Auth{
+		SiteKey: "widget-site", Type: "anonymous", User: "captcha:" + cap.ID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Timeout = 5 * time.Second
+	_, job, err := sess.Login()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, sum := grindShare(t, pool, job)
+	if err := sess.Submit(job.ID, nonce, sum); err != nil {
+		t.Fatal(err)
+	}
+
+	var cv stratum.CaptchaVerified
+	for cv.Token == "" {
+		env, err := sess.ReadEnvelope()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch env.Type {
+		case stratum.TypeHashAccepted:
+		case stratum.TypeCaptchaVerified:
+			if err := env.Decode(&cv); err != nil {
+				t.Fatal(err)
+			}
+		case stratum.TypeLinkResolved:
+			t.Fatal("captcha completion still rides the link_resolved push")
+		default:
+			t.Fatalf("unexpected %s before captcha_verified", env.Type)
+		}
+	}
+	if cv.ID != cap.ID {
+		t.Errorf("captcha_verified.ID = %q, want %q", cv.ID, cap.ID)
+	}
+	if err := pool.Captchas().Verify(cap.ID, cv.Token); err != nil {
+		t.Errorf("pushed token does not verify: %v", err)
+	}
+}

@@ -104,9 +104,15 @@ type FoundBlock struct {
 	Reward    uint64
 }
 
-// Errors returned by SubmitShare.
+// Errors returned by SubmitShare. ErrStaleJob marks honest work the
+// chain outran — a job this pool really minted, submitted after a tip
+// move or template refresh; ErrUnknownJob marks identifiers the pool
+// never issued (malformed, forged, or self-upgraded to the link tier).
+// The session engine re-jobs both the same way, but only stale ones
+// count toward pool.shares_stale.
 var (
-	ErrUnknownJob   = errors.New("coinhive: unknown or stale job")
+	ErrUnknownJob   = errors.New("coinhive: unknown job")
+	ErrStaleJob     = errors.New("coinhive: job from a previous chain tip")
 	ErrBadShare     = errors.New("coinhive: share hash does not verify")
 	ErrLowShare     = errors.New("coinhive: share above target")
 	ErrUnknownToken = errors.New("coinhive: unknown site key")
@@ -161,8 +167,14 @@ type Pool struct {
 
 	// Share accounting counters live in the metrics registry, so the
 	// same atomics feed StatsSnapshot and /metrics exposition.
-	sharesOK     *metrics.Counter
+	sharesOK *metrics.Counter
+	// sharesBad counts every rejected submission, including stale ones;
+	// sharesStale separately counts the stale subset — honest work against
+	// a job the chain tip outran, answered with a silent (ws) or named
+	// (TCP) re-job rather than an error. The engine increments it, so the
+	// split is visible per-service, not per-transport.
 	sharesBad    *metrics.Counter
+	sharesStale  *metrics.Counter
 	blocksFound  *metrics.Counter
 	shardRefresh *metrics.Counter
 	kept         atomic.Uint64 // pool's 30% cut, cumulative
@@ -195,6 +207,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		captchas:     NewCaptchaService(cfg.Wallet[:16]),
 		sharesOK:     cfg.Metrics.Counter("pool.shares_ok"),
 		sharesBad:    cfg.Metrics.Counter("pool.shares_bad"),
+		sharesStale:  cfg.Metrics.Counter("pool.shares_stale"),
 		blocksFound:  cfg.Metrics.Counter("pool.blocks_found"),
 		shardRefresh: cfg.Metrics.Counter("pool.shard_refresh"),
 	}
@@ -429,7 +442,7 @@ type ShareOutcome struct {
 // concurrent submitters verify in parallel.
 func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, linkID string) (ShareOutcome, error) {
 	var out ShareOutcome
-	b, _, slot, link, ok := parseJobID(jobID)
+	b, seq, slot, link, ok := parseJobID(jobID)
 	if !ok || b >= len(p.backends) || slot >= p.cfg.TemplatesPerBackend {
 		p.sharesBad.Add(1)
 		return out, ErrUnknownJob
@@ -452,6 +465,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	if link {
 		minted = sh.linkJobIDs[slot]
 	}
+	curSeq := sh.refreshSeq
 	if minted == jobID && sh.tip == tip {
 		tmpl = sh.templates[slot]
 		blob = append(bbuf[:0], sh.blobs[slot]...)
@@ -459,6 +473,16 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	sh.mu.RUnlock()
 	if blob == nil {
 		p.sharesBad.Add(1)
+		// Was this identifier ever real? IDs are a pure function of
+		// (backend, generation, slot, tier), so a parseable ID from the
+		// current generation that matches the minted string (tip moved
+		// under it) or from an earlier generation (refresh outran it) is
+		// honest-but-stale; anything else — a future generation, or a
+		// current-generation string the shard never issued (e.g. an
+		// un-minted link tier) — was forged.
+		if minted == jobID || seq < curSeq {
+			return out, ErrStaleJob
+		}
 		return out, ErrUnknownJob
 	}
 
@@ -586,9 +610,13 @@ func (p *Pool) settleLocked(b *blockchain.Block, backend int) {
 
 // Stats is a snapshot of pool economics.
 type Stats struct {
-	BlocksFound   int
-	SharesOK      uint64
-	SharesBad     uint64
+	BlocksFound int
+	SharesOK    uint64
+	SharesBad   uint64
+	// SharesStale is the subset of SharesBad rejected only because the
+	// chain tip outran the job — sessions that hit it were re-jobbed, not
+	// errored.
+	SharesStale   uint64
 	PaidAtomic    uint64
 	KeptAtomic    uint64
 	TotalAccounts int
@@ -610,6 +638,7 @@ func (p *Pool) StatsSnapshot() Stats {
 		BlocksFound:   blocks,
 		SharesOK:      p.sharesOK.Load(),
 		SharesBad:     p.sharesBad.Load(),
+		SharesStale:   p.sharesStale.Load(),
 		PaidAtomic:    p.paid.Load(),
 		KeptAtomic:    p.kept.Load(),
 		TotalAccounts: accounts,

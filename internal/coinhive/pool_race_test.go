@@ -149,7 +149,7 @@ func TestPoolConcurrentSettlement(t *testing.T) {
 			for i := 0; i < 25; i++ {
 				s := shares[(g*25+i)%len(shares)]
 				_, err := pool.SubmitShare("settle-site", s.jobID, s.nonce, s.sum, "")
-				if err != nil && err != ErrUnknownJob {
+				if err != nil && err != ErrStaleJob {
 					t.Errorf("submit: %v", err)
 					return
 				}

@@ -6,12 +6,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/fingerprint"
-	"repro/internal/metrics"
 	"repro/internal/stratum"
 	"repro/internal/ws"
 )
@@ -35,57 +32,35 @@ var CoinHive=(function(){
 
 // Server is the HTTP/WebSocket front of the service: the 32 /proxyN pool
 // endpoints, the miner assets, the cnhv.co short-link pages and the
-// /metrics exposition.
+// /metrics exposition. All session-protocol semantics live in the Engine;
+// this type only speaks the ws+coinhive dialect and routes HTTP.
 type Server struct {
-	Pool    *Pool
-	connSeq uint64
+	Pool *Pool
+	eng  *Engine
 
 	// Live ws sessions, tracked so Shutdown can complete a proper close
 	// handshake on each instead of leaving miners to time out on a dead
 	// TCP connection.
-	connMu   sync.Mutex
-	conns    map[*ws.Conn]struct{}
-	draining bool
-
-	sessions      *metrics.Gauge   // live ws miner sessions (peak = max concurrency)
-	sessionsTotal *metrics.Counter // sessions ever accepted
-	authReject    *metrics.Counter // sessions dropped during auth
-	jobsSent      *metrics.Counter // job messages fanned out
-	submitNs      *metrics.Histogram
+	conns connSet[*ws.Conn]
 }
 
-// NewServer wraps a pool, registering the server.* instruments in the
-// pool's metrics registry.
+// NewServer wraps a pool in a fresh engine. Use NewServerWithEngine to
+// share one engine (and its session accounting) with other transports.
 func NewServer(p *Pool) *Server {
-	reg := p.Metrics()
+	return NewServerWithEngine(NewEngine(p))
+}
+
+// NewServerWithEngine builds the HTTP/ws front over an existing engine.
+func NewServerWithEngine(e *Engine) *Server {
 	return &Server{
-		Pool:          p,
-		conns:         map[*ws.Conn]struct{}{},
-		sessions:      reg.Gauge("server.sessions"),
-		sessionsTotal: reg.Counter("server.sessions_total"),
-		authReject:    reg.Counter("server.auth_reject"),
-		jobsSent:      reg.Counter("server.jobs_sent"),
-		submitNs:      reg.Histogram("server.submit_ns"),
+		Pool: e.Pool(),
+		eng:  e,
 	}
 }
 
-// trackConn registers a live session; it reports false when the server
-// is draining, in which case the caller must turn the miner away.
-func (s *Server) trackConn(c *ws.Conn) bool {
-	s.connMu.Lock()
-	defer s.connMu.Unlock()
-	if s.draining {
-		return false
-	}
-	s.conns[c] = struct{}{}
-	return true
-}
-
-func (s *Server) untrackConn(c *ws.Conn) {
-	s.connMu.Lock()
-	delete(s.conns, c)
-	s.connMu.Unlock()
-}
+// Engine exposes the session engine, for wiring additional transports
+// (see NewStratumServer) onto the same session accounting.
+func (s *Server) Engine() *Engine { return s.eng }
 
 // Shutdown stops accepting miner sessions and closes every live one with
 // a 1001 (going away) close handshake. The HTTP listener is the caller's
@@ -99,13 +74,7 @@ func (s *Server) untrackConn(c *ws.Conn) {
 // handshake into a TCP reset. The read deadline bounds the drain when a
 // peer never replies.
 func (s *Server) Shutdown() {
-	s.connMu.Lock()
-	s.draining = true
-	open := make([]*ws.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		open = append(open, c)
-	}
-	s.connMu.Unlock()
+	open, _ := s.conns.Drain()
 	for _, c := range open {
 		c.InitiateClose(ws.CloseGoingAway, "server shutting down")
 		_ = c.SetReadDeadline(time.Now().Add(3 * time.Second))
@@ -117,19 +86,7 @@ func (s *Server) Shutdown() {
 // Shutdown should wait here first, or the OS teardown races the
 // handshakes Shutdown queued.
 func (s *Server) Drained(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		s.connMu.Lock()
-		n := len(s.conns)
-		s.connMu.Unlock()
-		if n == 0 {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	return s.conns.Drained(timeout)
 }
 
 // ServeHTTP routes all service endpoints.
@@ -267,144 +224,93 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	reg.WriteText(w)
 }
 
-// serveWS runs one miner session on endpoint n.
+// serveWS runs one miner session on endpoint n: upgrade, track for drain,
+// then hand the connection to the engine behind the ws dialect codec.
 func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 	conn, err := ws.Upgrade(w, r)
 	if err != nil {
 		return
 	}
 	defer conn.Close()
-	if !s.trackConn(conn) {
+	if !s.conns.Track(conn) {
 		_ = conn.CloseWithCode(ws.CloseGoingAway, "server shutting down")
 		return
 	}
-	defer s.untrackConn(conn)
-	s.sessionsTotal.Inc()
-	s.sessions.Inc()
-	defer s.sessions.Dec()
-	slot := int(atomic.AddUint64(&s.connSeq, 1))
+	defer s.conns.Untrack(conn)
+	s.eng.ServeSession(endpoint, &wsTransport{conn: conn})
+}
 
-	send := func(msgType string, params interface{}) error {
+// wsTransport is the ws+coinhive dialect codec: JSON envelopes over text
+// frames, strictly client-clocked. It holds no protocol state — every
+// rule lives in the engine.
+type wsTransport struct {
+	conn *ws.Conn
+}
+
+// ReadCommand parses the next text frame. Wire-level decode failures
+// (garbage envelope, bad hex) become Commands carrying this dialect's
+// error text; only transport death is an error.
+func (t *wsTransport) ReadCommand() (Command, error) {
+	_, data, err := t.conn.ReadMessage()
+	if err != nil {
+		return Command{}, err
+	}
+	env, err := stratum.Unmarshal(data)
+	if err != nil {
+		return Command{Kind: CmdGarbage}, nil
+	}
+	switch env.Type {
+	case stratum.TypeAuth:
+		var auth stratum.Auth
+		if env.Decode(&auth) != nil {
+			auth = stratum.Auth{} // empty site key: the engine rejects it
+		}
+		return Command{Kind: CmdOpen, Auth: auth}, nil
+	case stratum.TypeSubmit:
+		var sub stratum.Submit
+		if err := env.Decode(&sub); err != nil {
+			return Command{Kind: CmdBadParams, Reply: "bad submit"}, nil
+		}
+		return submitCommand(sub.JobID, sub.Nonce, sub.Result), nil
+	default:
+		return Command{Kind: CmdUnknown, Name: env.Type}, nil
+	}
+}
+
+// ServerClocked reports the ws dialect's clocking: the pool only ever
+// answers, so every submit reply carries the next job.
+func (t *wsTransport) ServerClocked() bool { return false }
+
+// Deliver renders each event as one envelope frame, in order.
+func (t *wsTransport) Deliver(ms *MinerSession, cmd Command, evs []Event) error {
+	for _, ev := range evs {
+		var (
+			msgType string
+			params  interface{}
+		)
+		switch ev.Kind {
+		case EvAuthed:
+			msgType, params = stratum.TypeAuthed, ev.Authed
+		case EvJob:
+			msgType, params = stratum.TypeJob, ev.Job
+		case EvAccepted:
+			msgType, params = stratum.TypeHashAccepted, ev.Accepted
+		case EvLinkResolved:
+			msgType, params = stratum.TypeLinkResolved, ev.Link
+		case EvCaptchaVerified:
+			msgType, params = stratum.TypeCaptchaVerified, ev.Captcha
+		case EvError:
+			msgType, params = stratum.TypeError, stratum.Error{Error: ev.Err}
+		default:
+			continue // EvKeepalive: not part of this dialect
+		}
 		data, err := stratum.Marshal(msgType, params)
 		if err != nil {
 			return err
 		}
-		if msgType == stratum.TypeJob {
-			s.jobsSent.Inc()
-		}
-		return conn.WriteMessage(ws.OpText, data)
-	}
-	fail := func(msg string) {
-		_ = send(stratum.TypeError, stratum.Error{Error: msg})
-	}
-
-	// First message must be auth.
-	_, data, err := conn.ReadMessage()
-	if err != nil {
-		return
-	}
-	env, err := stratum.Unmarshal(data)
-	if err != nil || env.Type != stratum.TypeAuth {
-		s.authReject.Inc()
-		fail("expected auth")
-		return
-	}
-	var auth stratum.Auth
-	if err := env.Decode(&auth); err != nil || auth.SiteKey == "" {
-		s.authReject.Inc()
-		fail("invalid site key")
-		return
-	}
-	linkID := ""
-	captchaID := ""
-	switch {
-	case strings.HasPrefix(auth.User, "link:"):
-		linkID = strings.TrimPrefix(auth.User, "link:")
-		if _, err := s.Pool.Links().Get(linkID); err != nil {
-			s.authReject.Inc()
-			fail("unknown link")
-			return
-		}
-	case strings.HasPrefix(auth.User, "captcha:"):
-		captchaID = strings.TrimPrefix(auth.User, "captcha:")
-		if _, err := s.Pool.Captchas().Credit(captchaID, 0); err != nil {
-			s.authReject.Inc()
-			fail("unknown captcha")
-			return
+		if err := t.conn.WriteMessage(ws.OpText, data); err != nil {
+			return err
 		}
 	}
-	lowDiff := linkID != "" || captchaID != ""
-	acct := s.Pool.Authorize(auth.SiteKey)
-	if err := send(stratum.TypeAuthed, stratum.Authed{Token: acct.Token, Hashes: int64(acct.TotalHashes)}); err != nil {
-		return
-	}
-	if err := send(stratum.TypeJob, s.Pool.Job(endpoint, slot, lowDiff)); err != nil {
-		return
-	}
-
-	for {
-		_, data, err := conn.ReadMessage()
-		if err != nil {
-			return
-		}
-		env, err := stratum.Unmarshal(data)
-		if err != nil {
-			fail("bad message")
-			return
-		}
-		if env.Type != stratum.TypeSubmit {
-			fail("unexpected " + env.Type)
-			continue
-		}
-		var sub stratum.Submit
-		if err := env.Decode(&sub); err != nil {
-			fail("bad submit")
-			continue
-		}
-		nonce, err := stratum.DecodeNonce(sub.Nonce)
-		if err != nil {
-			fail("bad nonce")
-			continue
-		}
-		resBytes, err := stratum.DecodeBlob(sub.Result)
-		if err != nil || len(resBytes) != 32 {
-			fail("bad result")
-			continue
-		}
-		var result [32]byte
-		copy(result[:], resBytes)
-		verifyStart := time.Now()
-		out, err := s.Pool.SubmitShare(auth.SiteKey, sub.JobID, nonce, result, linkID)
-		s.submitNs.Observe(time.Since(verifyStart))
-		switch err {
-		case nil:
-			if err := send(stratum.TypeHashAccepted, stratum.HashAccepted{Hashes: int64(out.Credited)}); err != nil {
-				return
-			}
-			if linkID != "" {
-				if url, derr := s.Pool.Links().Destination(linkID); derr == nil {
-					if err := send(stratum.TypeLinkResolved, stratum.LinkResolved{ID: linkID, URL: url}); err != nil {
-						return
-					}
-				}
-			}
-			if captchaID != "" {
-				cap, cerr := s.Pool.Captchas().Credit(captchaID, out.Diff)
-				if cerr == nil && cap.Solved() {
-					// Reuse the link_resolved push to hand the widget its
-					// verification token.
-					if err := send(stratum.TypeLinkResolved, stratum.LinkResolved{ID: captchaID, URL: cap.Token}); err != nil {
-						return
-					}
-				}
-			}
-		case ErrUnknownJob:
-			// Stale tip: silently hand out fresh work below.
-		default:
-			fail(err.Error())
-		}
-		if err := send(stratum.TypeJob, s.Pool.Job(endpoint, slot, lowDiff)); err != nil {
-			return
-		}
-	}
+	return nil
 }

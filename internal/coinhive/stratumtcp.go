@@ -1,0 +1,457 @@
+package coinhive
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stratum"
+)
+
+// StratumServer is the raw-TCP front of the pool: the newline-delimited
+// JSON-RPC 2.0 stratum dialect native Monero miners speak, bridged onto
+// the same session engine as the ws dialect. Where the ws dialect is
+// strictly client-clocked (the pool only ever answers), this one is
+// server-clocked: the server subscribes to chain tip events and pushes a
+// fresh job notification to every authenticated session the moment the
+// tip moves, instead of waiting for each miner's next submit.
+//
+// Dialect, one JSON object per line (max stratum.MaxRPCLine bytes):
+//
+//	→ {"id":1,"jsonrpc":"2.0","method":"login","params":{"login":SITEKEY,"pass":USER,"agent":...}}
+//	← {"id":1,"jsonrpc":"2.0","result":{"id":TOKEN,"job":{...},"status":"OK","hashes":N}}
+//	→ {"id":2,"method":"submit","params":{"id":TOKEN,"job_id":...,"nonce":HEX8,"result":HEX64}}
+//	← {"id":2,"result":{"status":"OK","hashes":N}}            accepted
+//	← {"id":2,"error":{"code":-3,"message":"stale job"}}      tip outran the job; fresh job follows
+//	→ {"id":3,"method":"keepalived","params":{"id":TOKEN}}
+//	← {"id":3,"result":{"status":"KEEPALIVED"}}
+//	← {"jsonrpc":"2.0","method":"job","params":{...}}          server push (no id)
+//	← {"jsonrpc":"2.0","method":"link_resolved","params":{...}}
+//	← {"jsonrpc":"2.0","method":"captcha_verified","params":{...}}
+//
+// login.pass carries the ws dialect's user field, so "link:ID" and
+// "captcha:ID" sessions work identically over TCP. Oversize lines and
+// unparseable JSON get one error response and the connection is dropped;
+// a connection silent for longer than KeepaliveWindow is dropped without
+// ceremony — that is what keepalived is for.
+type StratumServer struct {
+	eng *Engine
+
+	// KeepaliveWindow bounds peer silence: each read waits at most this
+	// long before the connection is declared dead. Zero means the default
+	// of 90 seconds. Compliant clients ping every
+	// session.KeepaliveInterval (30s) while busy, so production windows
+	// must stay comfortably above that; sub-interval windows are for
+	// tests. Set it before calling Serve; connection goroutines read it
+	// unsynchronised.
+	KeepaliveWindow time.Duration
+
+	conns connSet[*stratumConn]
+
+	mu sync.Mutex // guards ln and unsubscribe
+	ln net.Listener
+
+	unsubscribe func()
+	// pushWake coalesces tip events for the notifier goroutine: the
+	// chain's Subscribe callback must not block (it runs on whichever
+	// goroutine appended the block — possibly a miner's submit path
+	// holding the pool's settle lock), and job pushes always carry the
+	// *current* job, so back-to-back tips collapse into one fan-out.
+	// pendingTipNs holds the earliest tip event the next fan-out will
+	// serve (unix nanos, 0 = none), so push latency is measured from the
+	// moment miners' work went stale, not from when the notifier got
+	// around to it.
+	pushWake     chan struct{}
+	stop         chan struct{}
+	pendingTipNs atomic.Int64
+
+	pushes *metrics.Counter   // job notifications pushed on tip events
+	pushNs *metrics.Histogram // per-session delivery latency within one fan-out
+}
+
+// NewStratumServer builds the TCP front over an engine (share one engine
+// with the ws Server so session accounting spans both transports) and
+// subscribes to the pool chain's tip events for job push fan-out.
+func NewStratumServer(e *Engine) *StratumServer {
+	reg := e.Pool().Metrics()
+	s := &StratumServer{
+		eng:      e,
+		pushWake: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		pushes:   reg.Counter("stratum.jobs_pushed"),
+		pushNs:   reg.Histogram("stratum.push_ns"),
+	}
+	go s.pushLoop()
+	s.unsubscribe = e.Pool().Chain().Subscribe(func(tip [32]byte, height uint64) {
+		// Keep the EARLIEST unserved tip's timestamp: a coalesced fan-out
+		// serves every tip since the last one, and its latency is how
+		// long the oldest of them has been waiting.
+		s.pendingTipNs.CompareAndSwap(0, time.Now().UnixNano())
+		select {
+		case s.pushWake <- struct{}{}:
+		default: // a fan-out is already pending; it will carry this tip's job
+		}
+	})
+	return s
+}
+
+// pushLoop serialises fan-outs on one goroutine, so a peer that stalls
+// its socket delays other miners' pushes at worst — never the share
+// verification or settle path that appended the block.
+func (s *StratumServer) pushLoop() {
+	for {
+		select {
+		case <-s.pushWake:
+			s.fanOut()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Serve accepts miner connections on ln until the listener is closed.
+// Transient accept failures (EMFILE under a connection storm, and the
+// like) are retried with backoff rather than killing the front — only a
+// closed listener or shutdown ends the loop.
+func (s *StratumServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	if s.conns.Draining() {
+		// Shutdown already ran (it can race a `go Serve(ln)`): it either
+		// missed the listener registered above or closed it already;
+		// closing here covers the former, and keeps the port from staying
+		// bound to a front that would accept-and-drop forever.
+		_ = ln.Close()
+		return net.ErrClosed
+	}
+	var (
+		seq   int // endpoint rotation; the accept loop is its only writer
+		delay time.Duration
+	)
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.conns.Draining() || errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else if delay *= 2; delay > time.Second {
+				delay = time.Second
+			}
+			time.Sleep(delay)
+			continue
+		}
+		delay = 0
+		seq++
+		go s.serveConn(nc, seq%s.eng.Pool().NumEndpoints())
+	}
+}
+
+// Addr returns the listen address once Serve has been called.
+func (s *StratumServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting sessions, unsubscribes from tip events and
+// closes every live connection. TCP stratum has no close handshake — the
+// dialect's liveness story is the keepalive window — so draining is
+// simply tearing the transports down.
+func (s *StratumServer) Shutdown() {
+	open, first := s.conns.Drain()
+	if !first {
+		return
+	}
+	s.mu.Lock()
+	ln := s.ln
+	unsub := s.unsubscribe
+	s.unsubscribe = nil
+	s.mu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
+	close(s.stop)
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range open {
+		_ = c.nc.Close()
+	}
+}
+
+// Drained reports whether every session goroutine has exited, waiting up
+// to timeout.
+func (s *StratumServer) Drained(timeout time.Duration) bool {
+	return s.conns.Drained(timeout)
+}
+
+// PushStats exposes the fan-out instruments: how many job notifications
+// tip events have pushed and the per-session delivery latency histogram.
+func (s *StratumServer) PushStats() (pushes uint64, latency metrics.HistSnapshot) {
+	return s.pushes.Load(), s.pushNs.Snapshot()
+}
+
+// PushCursor marks the current fan-out state; pair with PushStatsSince
+// for per-phase numbers (one load scenario out of a longer run).
+func (s *StratumServer) PushCursor() metrics.HistCursor { return s.pushNs.Cursor() }
+
+// PushStatsSince reports the fan-out activity recorded after the cursor.
+func (s *StratumServer) PushStatsSince(c metrics.HistCursor) (pushes uint64, latency metrics.HistSnapshot) {
+	lat := s.pushNs.SnapshotSince(c)
+	return lat.Count, lat
+}
+
+// fanOut pushes the current job to every authenticated session — the
+// server-clocked half of the dialect. Latency is observed per session as
+// time since the (earliest coalesced) tip event, so the histogram's p99
+// is the fan-out tail: how long the last miners wait for fresh work
+// after a block lands.
+func (s *StratumServer) fanOut() {
+	t0 := time.Now()
+	if ns := s.pendingTipNs.Swap(0); ns != 0 {
+		t0 = time.Unix(0, ns)
+	}
+	for _, c := range s.conns.Snapshot() {
+		if !c.pushable.Load() {
+			continue
+		}
+		if err := c.notify(stratum.TypeJob, c.ms.CurrentJob()); err != nil {
+			// A failed (or timed-out, possibly partial) push leaves the
+			// peer's line stream unusable, and retrying it would stall
+			// every later fan-out behind the same dead socket — tear the
+			// transport down; its reader goroutine untracks the session.
+			_ = c.nc.Close()
+			continue
+		}
+		s.pushes.Inc()
+		s.pushNs.Observe(time.Since(t0))
+	}
+}
+
+func (s *StratumServer) keepaliveWindow() time.Duration {
+	if s.KeepaliveWindow > 0 {
+		return s.KeepaliveWindow
+	}
+	return 90 * time.Second
+}
+
+// serveConn runs one miner connection: track for drain, then hand it to
+// the engine behind the JSON-RPC codec.
+func (s *StratumServer) serveConn(nc net.Conn, endpoint int) {
+	defer nc.Close()
+	c := &stratumConn{
+		srv: s,
+		nc:  nc,
+		br:  bufio.NewReaderSize(nc, stratum.MaxRPCLine),
+	}
+	if !s.conns.Track(c) {
+		return
+	}
+	defer s.conns.Untrack(c)
+	s.eng.ServeSession(endpoint, c)
+}
+
+// stratumConn is the JSON-RPC dialect codec for one connection. The
+// engine's reader goroutine and the fan-out goroutine both write; wmu
+// serialises them.
+type stratumConn struct {
+	srv *StratumServer
+	nc  net.Conn
+	br  *bufio.Reader
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	// ms is set by Deliver before pushable is flipped; the atomic store /
+	// load pair makes the plain ms write visible to the fan-out goroutine.
+	ms       *MinerSession
+	pushable atomic.Bool
+}
+
+// ReadCommand reads one request line. Codec failures (oversize line, bad
+// JSON, unknown method, undecodable params) become Commands so the engine
+// rules on them; only transport death (EOF, keepalive timeout) is an
+// error.
+func (c *stratumConn) ReadCommand() (Command, error) {
+	if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.keepaliveWindow())); err != nil {
+		return Command{}, err
+	}
+	line, err := stratum.ReadRPCLine(c.br)
+	if err == stratum.ErrRPCLineTooLong {
+		// One parse-error response, then the engine's fatal path drops the
+		// connection — an oversize line means the framing itself is gone.
+		return Command{Kind: CmdGarbage}, nil
+	}
+	if err != nil {
+		return Command{}, err
+	}
+	env, err := stratum.UnmarshalRPC(line)
+	if err != nil || env.Method == "" {
+		return Command{Kind: CmdGarbage, Tag: env.ID}, nil
+	}
+	switch env.Method {
+	case stratum.MethodLogin:
+		var lp stratum.LoginParams
+		_ = env.DecodeParams(&lp) // empty login: the engine rejects it
+		return Command{
+			Kind: CmdOpen,
+			Auth: stratum.Auth{SiteKey: lp.Login, Type: "anonymous", User: lp.Pass},
+			Tag:  env.ID,
+		}, nil
+	case stratum.MethodSubmit:
+		var sp stratum.SubmitParams
+		if err := env.DecodeParams(&sp); err != nil {
+			return Command{Kind: CmdBadParams, Reply: "bad submit", Tag: env.ID}, nil
+		}
+		cmd := submitCommand(sp.JobID, sp.Nonce, sp.Result)
+		cmd.Tag = env.ID
+		return cmd, nil
+	case stratum.MethodKeepalive:
+		return Command{Kind: CmdKeepalive, Tag: env.ID}, nil
+	default:
+		return Command{Kind: CmdUnknown, Name: env.Method, Tag: env.ID}, nil
+	}
+}
+
+// ServerClocked reports this dialect's clocking: fresh work arrives by
+// push, so the engine omits the routine post-submit job.
+func (c *stratumConn) ServerClocked() bool { return true }
+
+// Deliver correlates the engine's events back into one response for the
+// request plus any notifications. The engine knows this dialect is
+// server-clocked (ServerClocked), so the only job event that can follow
+// a submit is a stale re-job — delivered as a notification behind the
+// error response, because the client's current job just died.
+func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error {
+	rawID, _ := cmd.Tag.(json.RawMessage)
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = c.wbuf[:0]
+	var err error
+
+	if cmd.Kind == CmdKeepalive && len(evs) == 1 && evs[0].Kind == EvKeepalive {
+		c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.KeepaliveResult{Status: stratum.StatusKeepalive})
+		if err != nil {
+			return err
+		}
+		return c.flushLocked()
+	}
+
+	// First pass: build the correlated response.
+	responded := false
+	switch {
+	case cmd.Kind == CmdOpen && len(evs) >= 2 && evs[0].Kind == EvAuthed && evs[1].Kind == EvJob:
+		c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.LoginResult{
+			ID:     evs[0].Authed.Token,
+			Job:    evs[1].Job,
+			Status: stratum.StatusOK,
+			Hashes: evs[0].Authed.Hashes,
+		})
+		responded = true
+	case cmd.Kind == CmdSubmit && len(evs) > 0 && evs[0].Kind == EvAccepted:
+		c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.SubmitResult{
+			Status: stratum.StatusOK,
+			Hashes: evs[0].Accepted.Hashes,
+		})
+		responded = true
+	case cmd.Kind == CmdSubmit && len(evs) == 1 && evs[0].Kind == EvJob && evs[0].Stale:
+		c.wbuf, err = stratum.AppendRPCError(c.wbuf, rawID, stratum.RPCStaleJob, stratum.StaleJobMessage)
+		responded = true
+	}
+	if err != nil {
+		return err
+	}
+
+	// Second pass: error events (the response, if not already built) and
+	// out-of-band notifications.
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvError:
+			if responded {
+				continue
+			}
+			c.wbuf, err = stratum.AppendRPCError(c.wbuf, rawID, c.errCode(cmd, ev), ev.Err)
+			responded = true
+		case EvLinkResolved:
+			c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeLinkResolved, ev.Link)
+		case EvCaptchaVerified:
+			c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeCaptchaVerified, ev.Captcha)
+		case EvJob:
+			if ev.Stale {
+				// The error response above told the miner its job died; this
+				// hands it the replacement without waiting for the next tip.
+				c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeJob, ev.Job)
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+
+	// A successful login makes the session part of the push fan-out.
+	if cmd.Kind == CmdOpen && ms.Authed() && !c.pushable.Load() {
+		c.ms = ms
+		c.pushable.Store(true)
+	}
+	return nil
+}
+
+// errCode maps an engine error back to this dialect's RPC code space.
+func (c *stratumConn) errCode(cmd Command, ev Event) int {
+	switch {
+	case cmd.Kind == CmdGarbage:
+		return stratum.RPCParseError
+	case cmd.Kind == CmdUnknown:
+		return stratum.RPCUnknownMethod
+	case cmd.Kind == CmdBadParams:
+		return stratum.RPCInvalidParams
+	case ev.Fatal || cmd.Kind == CmdOpen:
+		return stratum.RPCUnauthorized
+	default:
+		return stratum.RPCRejected
+	}
+}
+
+func (c *stratumConn) flushLocked() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	if err := c.nc.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	_, err := c.nc.Write(c.wbuf)
+	return err
+}
+
+// notify pushes one notification line, serialised against reply writes.
+// The short write deadline bounds how long one stalled peer can hold up
+// the fan-out loop; the caller drops the connection on failure.
+func (c *stratumConn) notify(method string, params interface{}) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var err error
+	c.wbuf, err = stratum.AppendRPCNotify(c.wbuf[:0], method, params)
+	if err != nil {
+		return err
+	}
+	if err := c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		return err
+	}
+	_, err = c.nc.Write(c.wbuf)
+	return err
+}

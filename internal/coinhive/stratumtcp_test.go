@@ -1,0 +1,290 @@
+package coinhive_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/stratum"
+)
+
+// rawStratum is a line-level TCP client for conformance testing — no
+// client codec in the way, so the assertions are about exactly what
+// crosses the wire.
+type rawStratum struct {
+	t  *testing.T
+	nc net.Conn
+	br *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawStratum {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &rawStratum{t: t, nc: nc, br: bufio.NewReaderSize(nc, stratum.MaxRPCLine)}
+}
+
+func (r *rawStratum) sendLine(line string) {
+	r.t.Helper()
+	_ = r.nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := r.nc.Write([]byte(line + "\n")); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rawStratum) readEnvelope() (stratum.RPCEnvelope, error) {
+	_ = r.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := stratum.ReadRPCLine(r.br)
+	if err != nil {
+		return stratum.RPCEnvelope{}, err
+	}
+	return stratum.UnmarshalRPC(line)
+}
+
+func (r *rawStratum) mustReadError(wantCode int) stratum.RPCEnvelope {
+	r.t.Helper()
+	env, err := r.readEnvelope()
+	if err != nil {
+		r.t.Fatalf("reading expected error response: %v", err)
+	}
+	if env.Error == nil {
+		r.t.Fatalf("response is not an error: %+v", env)
+	}
+	if env.Error.Code != wantCode {
+		r.t.Fatalf("error code = %d (%q), want %d", env.Error.Code, env.Error.Message, wantCode)
+	}
+	return env
+}
+
+// mustBeClosed asserts the server hangs up (EOF or reset) on next read.
+func (r *rawStratum) mustBeClosed() {
+	r.t.Helper()
+	if env, err := r.readEnvelope(); err == nil {
+		r.t.Fatalf("connection still alive, read %+v", env)
+	}
+}
+
+func (r *rawStratum) login(siteKey string) stratum.LoginResult {
+	r.t.Helper()
+	r.sendLine(fmt.Sprintf(`{"id":1,"jsonrpc":"2.0","method":"login","params":{"login":%q}}`, siteKey))
+	env, err := r.readEnvelope()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if env.Error != nil {
+		r.t.Fatalf("login rejected: %+v", env.Error)
+	}
+	var res stratum.LoginResult
+	if err := env.DecodeResult(&res); err != nil {
+		r.t.Fatal(err)
+	}
+	if res.Status != stratum.StatusOK || res.ID == "" || res.Job.JobID == "" {
+		r.t.Fatalf("login result = %+v", res)
+	}
+	return res
+}
+
+// TestStratumTCPConformance is the TCP twin of the ws malformed
+// scenario: a table of dialect violations, each pinned to its exact
+// wire-level outcome.
+func TestStratumTCPConformance(t *testing.T) {
+	t.Run("oversize line", func(t *testing.T) {
+		_, handler, _ := startService(t, 4)
+		_, addr := startStratum(t, handler)
+		c := dialRaw(t, addr)
+		c.sendLine(`{"padding":"` + strings.Repeat("x", stratum.MaxRPCLine+64) + `"}`)
+		c.mustReadError(stratum.RPCParseError)
+		c.mustBeClosed()
+	})
+
+	t.Run("bad json", func(t *testing.T) {
+		_, handler, _ := startService(t, 4)
+		_, addr := startStratum(t, handler)
+		c := dialRaw(t, addr)
+		c.login("tcp-conf-key")
+		c.sendLine(`{definitely not json`)
+		c.mustReadError(stratum.RPCParseError)
+		c.mustBeClosed()
+	})
+
+	t.Run("unknown method", func(t *testing.T) {
+		_, handler, _ := startService(t, 4)
+		_, addr := startStratum(t, handler)
+		c := dialRaw(t, addr)
+		c.login("tcp-conf-key")
+		c.sendLine(`{"id":2,"jsonrpc":"2.0","method":"mining.extranonce","params":{}}`)
+		env := c.mustReadError(stratum.RPCUnknownMethod)
+		if env.Error.Message != "unexpected mining.extranonce" {
+			t.Errorf("message = %q", env.Error.Message)
+		}
+		// The session survives an unknown method.
+		c.sendLine(`{"id":3,"jsonrpc":"2.0","method":"keepalived","params":{"id":"x"}}`)
+		reply, err := c.readEnvelope()
+		if err != nil || reply.Error != nil {
+			t.Fatalf("session did not survive unknown method: %v %+v", err, reply)
+		}
+	})
+
+	t.Run("submit before login", func(t *testing.T) {
+		_, handler, _ := startService(t, 4)
+		_, addr := startStratum(t, handler)
+		c := dialRaw(t, addr)
+		c.sendLine(`{"id":1,"jsonrpc":"2.0","method":"submit","params":{"id":"x","job_id":"0-1-0","nonce":"00000000","result":"` +
+			strings.Repeat("ab", 32) + `"}}`)
+		env := c.mustReadError(stratum.RPCUnauthorized)
+		if env.Error.Message != "expected auth" {
+			t.Errorf("message = %q", env.Error.Message)
+		}
+		c.mustBeClosed()
+	})
+
+	t.Run("bad submit params", func(t *testing.T) {
+		_, handler, _ := startService(t, 4)
+		_, addr := startStratum(t, handler)
+		c := dialRaw(t, addr)
+		c.login("tcp-conf-key")
+		c.sendLine(`{"id":2,"jsonrpc":"2.0","method":"submit","params":{"id":"x","job_id":"0-1-0","nonce":"zz!!zz!!","result":"` +
+			strings.Repeat("ab", 32) + `"}}`)
+		env := c.mustReadError(stratum.RPCInvalidParams)
+		if env.Error.Message != "bad nonce" {
+			t.Errorf("message = %q", env.Error.Message)
+		}
+		// Non-fatal: keepalive still answered.
+		c.sendLine(`{"id":3,"jsonrpc":"2.0","method":"keepalived","params":{"id":"x"}}`)
+		if reply, err := c.readEnvelope(); err != nil || reply.Error != nil {
+			t.Fatalf("session did not survive bad params: %v %+v", err, reply)
+		}
+	})
+
+	t.Run("keepalive timeout", func(t *testing.T) {
+		_, handler, _ := startService(t, 4)
+		_, addr := startStratum(t, handler, 150*time.Millisecond)
+		c := dialRaw(t, addr)
+		c.login("tcp-conf-key")
+		// Stay silent past the window: the server drops the connection.
+		time.Sleep(400 * time.Millisecond)
+		c.mustBeClosed()
+	})
+
+	t.Run("keepalive answered", func(t *testing.T) {
+		_, handler, _ := startService(t, 4)
+		_, addr := startStratum(t, handler, 300*time.Millisecond)
+		c := dialRaw(t, addr)
+		res := c.login("tcp-conf-key")
+		// Pinging inside the window keeps the session alive across what
+		// would otherwise be two timeouts.
+		for i := 0; i < 4; i++ {
+			time.Sleep(100 * time.Millisecond)
+			c.sendLine(fmt.Sprintf(`{"id":%d,"jsonrpc":"2.0","method":"keepalived","params":{"id":%q}}`, 10+i, res.ID))
+			env, err := c.readEnvelope()
+			if err != nil {
+				t.Fatalf("keepalive %d: %v", i, err)
+			}
+			var ka stratum.KeepaliveResult
+			if err := env.DecodeResult(&ka); err != nil || ka.Status != stratum.StatusKeepalive {
+				t.Fatalf("keepalive %d reply = %+v (%v)", i, env, err)
+			}
+		}
+	})
+}
+
+// TestStratumTCPJobPushOnTipChange pins the server-clocked half: when
+// the chain tip moves, every authenticated TCP session receives an
+// unsolicited job notification carrying fresh (resolvable) work.
+func TestStratumTCPJobPushOnTipChange(t *testing.T) {
+	_, handler, pool := startService(t, 4)
+	ss, addr := startStratum(t, handler)
+
+	c := dialRaw(t, addr)
+	res := c.login("push-key")
+
+	if _, err := pool.ProduceWinningBlock(1_525_100_000, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	env, err := c.readEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.IsNotification() || env.Method != stratum.TypeJob {
+		t.Fatalf("expected job notification, got %+v", env)
+	}
+	var job stratum.Job
+	if err := env.DecodeParams(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.JobID == res.Job.JobID {
+		t.Error("pushed job did not change after the tip moved")
+	}
+
+	// The pushed job is real: a share ground against it is accepted.
+	decoded, err := session.DecodeJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, sum := grindShare(t, pool, decoded)
+	c.sendLine(fmt.Sprintf(`{"id":5,"jsonrpc":"2.0","method":"submit","params":{"id":%q,"job_id":%q,"nonce":%q,"result":%q}}`,
+		res.ID, job.JobID, stratum.EncodeNonce(nonce), stratum.EncodeBlob(sum[:])))
+	reply, err := c.readEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Error != nil {
+		t.Fatalf("share against pushed job rejected: %+v", reply.Error)
+	}
+	var sr stratum.SubmitResult
+	if err := reply.DecodeResult(&sr); err != nil || sr.Status != stratum.StatusOK {
+		t.Fatalf("submit result = %+v (%v)", sr, err)
+	}
+
+	pushes, lat := ss.PushStats()
+	if pushes == 0 || lat.Count == 0 {
+		t.Errorf("push instruments empty: pushes=%d latency count=%d", pushes, lat.Count)
+	}
+}
+
+// TestStratumTCPStaleSubmitNamedAndRejobbed pins the dialect's stale
+// path: unlike ws's silent re-job, TCP names the condition in an rpc
+// error and then delivers the replacement job as a notification.
+func TestStratumTCPStaleSubmitNamedAndRejobbed(t *testing.T) {
+	_, handler, pool := startService(t, 4)
+	_, addr := startStratum(t, handler)
+
+	c := dialRaw(t, addr)
+	res := c.login("stale-tcp-key")
+	decoded, err := session.DecodeJob(res.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, sum := grindShare(t, pool, decoded)
+
+	if _, err := pool.ProduceWinningBlock(1_525_100_000, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The tip-change push arrives first (fan-out happens on append).
+	push, err := c.readEnvelope()
+	if err != nil || push.Method != stratum.TypeJob {
+		t.Fatalf("expected tip-change push, got %+v (%v)", push, err)
+	}
+
+	c.sendLine(fmt.Sprintf(`{"id":6,"jsonrpc":"2.0","method":"submit","params":{"id":%q,"job_id":%q,"nonce":%q,"result":%q}}`,
+		res.ID, res.Job.JobID, stratum.EncodeNonce(nonce), stratum.EncodeBlob(sum[:])))
+	env := c.mustReadError(stratum.RPCStaleJob)
+	if env.Error.Message != stratum.StaleJobMessage {
+		t.Errorf("message = %q", env.Error.Message)
+	}
+	rejob, err := c.readEnvelope()
+	if err != nil || rejob.Method != stratum.TypeJob {
+		t.Fatalf("expected replacement job notification, got %+v (%v)", rejob, err)
+	}
+	if got := pool.StatsSnapshot().SharesStale; got != 1 {
+		t.Errorf("SharesStale = %d, want 1", got)
+	}
+}

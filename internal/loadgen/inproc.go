@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockchain"
@@ -12,15 +13,20 @@ import (
 	"repro/internal/simclock"
 )
 
-// InprocTarget is a full coinhive service on an ephemeral loopback port
-// — the self-contained target for `loadd -inproc` and the load-smoke CI
-// gate. The swarm still crosses real TCP sockets and the real ws+stratum
-// stack; "in-process" only means nobody has to start a daemon first.
+// InprocTarget is a full coinhive service on ephemeral loopback ports —
+// the self-contained target for `loadd -inproc` and the load-smoke CI
+// gate. The swarm still crosses real TCP sockets and the real protocol
+// stacks; "in-process" only means nobody has to start a daemon first.
+// Both fronts — the ws endpoints and the raw-TCP stratum listener —
+// drive one session engine, so accounting spans the dialects.
 type InprocTarget struct {
 	URL     string // ws://127.0.0.1:port
+	TCPAddr string // host:port of the raw-TCP stratum listener
 	Pool    *coinhive.Pool
 	Handler *coinhive.Server
+	Stratum *coinhive.StratumServer
 	srv     *http.Server
+	tipSeq  uint32
 }
 
 // StartInproc boots a service whose share difficulty is tuned for load
@@ -50,12 +56,25 @@ func StartInproc(shareDiff uint64, reg *metrics.Registry) (*InprocTarget, error)
 	if err != nil {
 		return nil, err
 	}
+	// Both listeners are claimed before the stratum server exists: its
+	// constructor spawns the push loop and subscribes to chain tip
+	// events, so a listen failure after it would leak both.
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
 	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
+	stratumSrv := coinhive.NewStratumServer(handler.Engine())
+	go stratumSrv.Serve(sln)
+
 	return &InprocTarget{
 		URL:     "ws://" + ln.Addr().String(),
+		TCPAddr: sln.Addr().String(),
 		Pool:    pool,
 		Handler: handler,
+		Stratum: stratumSrv,
 		srv:     srv,
 	}, nil
 }
@@ -65,8 +84,27 @@ func (t *InprocTarget) HTTPURL() string {
 	return "http" + strings.TrimPrefix(t.URL, "ws")
 }
 
-// Close drains ws sessions with a close handshake and stops the server.
+// AdvanceTip lands one block, moving the chain tip: in-flight jobs go
+// stale and the stratum front pushes fresh work to every TCP session.
+// This is what a Config.Refresh hook should call for an in-process run.
+func (t *InprocTarget) AdvanceTip() {
+	n := atomic.AddUint32(&t.tipSeq, 1)
+	_, _ = t.Pool.ProduceWinningBlock(uint64(time.Now().Unix()), int(n), n)
+}
+
+// Config returns a swarm config pre-wired to this target: both dialect
+// addresses and the tip-refresh hook.
+func (t *InprocTarget) Config() Config {
+	return Config{
+		URL:     t.URL,
+		TCPAddr: t.TCPAddr,
+		Refresh: t.AdvanceTip,
+	}
+}
+
+// Close drains both fronts and stops the listeners.
 func (t *InprocTarget) Close() {
 	t.Handler.Shutdown()
+	t.Stratum.Shutdown()
 	t.srv.Close()
 }

@@ -8,10 +8,13 @@
 // Two design points make thousands of sessions viable on one CPU:
 //
 //   - Sessions are state machines multiplexed onto a small worker pool,
-//     not goroutine-per-session. The dialect is strictly client-clocked
-//     (the pool only ever speaks in response to a client message), so a
-//     parked session never has unsolicited data to read — it holds a
-//     file descriptor and ~nothing else. Only the W sessions currently
+//     not goroutine-per-session. The ws dialect is strictly
+//     client-clocked (the pool only ever speaks in response to a client
+//     message), so a parked ws session never has unsolicited data to
+//     read; the TCP stratum dialect is server-clocked, but its pushes
+//     land in the parked session's kernel socket buffer and are drained
+//     on its next turn — either way a parked session holds a file
+//     descriptor and ~nothing else. Only the W sessions currently
 //     mid-turn occupy a stack.
 //
 //   - Sessions replay shares from a pre-grinding Oracle instead of
@@ -20,6 +23,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -31,14 +35,21 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/session"
 	"repro/internal/stratum"
-	"repro/internal/ws"
 )
 
 // Config sizes a swarm against one service.
 type Config struct {
-	// URL is the service base, e.g. ws://127.0.0.1:8080 — sessions
+	// URL is the service base, e.g. ws://127.0.0.1:8080 — ws sessions
 	// round-robin across its /proxy0…/proxyN-1 endpoints.
 	URL string
+	// TCPAddr is the raw-TCP stratum listener (host:port). Required by
+	// scenarios whose Transport is "tcp" or "mixed".
+	TCPAddr string
+	// Refresh, when set, is invoked on the scenario's RefreshEvery cadence
+	// to move the target's chain tip mid-run — the event that makes the
+	// TCP dialect push jobs and both dialects field stale shares. The
+	// in-process target wires AdvanceTip here.
+	Refresh func()
 	// Endpoints is the /proxyN fan (default 32, the paper's topology).
 	Endpoints int
 	// Sessions is the swarm size.
@@ -90,6 +101,7 @@ func (c *Config) fillDefaults() {
 // Result is one load run's trajectory point.
 type Result struct {
 	Scenario       string  `json:"scenario"`
+	Transport      string  `json:"transport,omitempty"`
 	Sessions       int     `json:"sessions"`
 	Workers        int     `json:"workers"`
 	PeakConcurrent int64   `json:"peak_concurrent"`
@@ -107,6 +119,14 @@ type Result struct {
 	AcceptMaxNs    int64   `json:"accept_max_ns"`
 	ConnectP99Ns   int64   `json:"connect_p99_ns"`
 
+	// TipRefreshes counts the mid-run chain-tip moves this scenario
+	// forced; JobPushes/PushP99Ns are the server-side job-push fan-out
+	// numbers for this scenario alone (filled in by the driver, which
+	// owns the target's registry and cursors its push histogram).
+	TipRefreshes uint64 `json:"tip_refreshes,omitempty"`
+	JobPushes    uint64 `json:"job_pushes,omitempty"`
+	PushP99Ns    int64  `json:"push_p99_ns,omitempty"`
+
 	// ErrorSamples holds the first few protocol-error descriptions, for
 	// diagnosis when the zero-error assertion fails.
 	ErrorSamples []string `json:"error_samples,omitempty"`
@@ -117,6 +137,7 @@ type Result struct {
 type minerSession struct {
 	idx           int
 	url           string
+	tcp           bool // raw-TCP stratum dialect (server-clocked)
 	siteKey       string
 	sess          *session.Session
 	job           session.Job
@@ -160,6 +181,7 @@ type Swarm struct {
 	sharesOK   *metrics.Counter
 	sharesRej  *metrics.Counter
 	protoErrs  *metrics.Counter
+	refreshes  *metrics.Counter
 	acceptNs   *metrics.Histogram
 	connectNs  *metrics.Histogram
 
@@ -176,6 +198,9 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 	if cfg.Scenario.Name == "" {
 		return nil, fmt.Errorf("loadgen: Config.Scenario is required")
 	}
+	if t := cfg.Scenario.Transport; (t == TransportTCP || t == TransportMixed) && cfg.TCPAddr == "" {
+		return nil, fmt.Errorf("loadgen: scenario %q needs Config.TCPAddr", cfg.Scenario.Name)
+	}
 	reg := cfg.Registry
 	return &Swarm{
 		cfg:    cfg,
@@ -190,6 +215,7 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 		sharesOK:   reg.Counter("load.shares_ok"),
 		sharesRej:  reg.Counter("load.shares_rejected"),
 		protoErrs:  reg.Counter("load.proto_errors"),
+		refreshes:  reg.Counter("load.tip_refreshes"),
 		acceptNs:   reg.Histogram("load.accept_ns"),
 		connectNs:  reg.Histogram("load.connect_ns"),
 	}, nil
@@ -217,14 +243,43 @@ func (sw *Swarm) Run() (Result, error) {
 	}
 	defer close(sw.quit)
 
+	// Mid-run tip refreshes: the chain event that makes the TCP dialect
+	// push jobs and both dialects field stale shares.
+	if sc.RefreshEvery > 0 && sw.cfg.Refresh != nil {
+		go func() {
+			tick := time.NewTicker(sc.RefreshEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					sw.cfg.Refresh()
+					sw.refreshes.Inc()
+				case <-sw.quit:
+					return
+				}
+			}
+		}()
+	}
+
 	sessions := make([]*minerSession, sw.cfg.Sessions)
+	wsIdx := 0 // ws sessions get their own counter so they round-robin
+	// every /proxyN endpoint even when mixed gives half the indices to TCP
 	for i := range sessions {
-		sessions[i] = &minerSession{
+		s := &minerSession{
 			idx:       i,
-			url:       fmt.Sprintf("%s/proxy%d", strings.TrimSuffix(sw.cfg.URL, "/"), i%sw.cfg.Endpoints),
 			siteKey:   fmt.Sprintf("swarm-%04d", i),
 			turnsLeft: sc.Turns,
 		}
+		// mixed alternates dialects session by session, so both hit one
+		// pool (and one accounting plane) in the same run.
+		if sc.Transport == TransportTCP || (sc.Transport == TransportMixed && i%2 == 1) {
+			s.tcp = true
+			s.url = "tcp://" + sw.cfg.TCPAddr
+		} else {
+			s.url = fmt.Sprintf("%s/proxy%d", strings.TrimSuffix(sw.cfg.URL, "/"), wsIdx%sw.cfg.Endpoints)
+			wsIdx++
+		}
+		sessions[i] = s
 	}
 
 	// Phase 1: open-loop ramp-in.
@@ -245,7 +300,7 @@ func (sw *Swarm) Run() (Result, error) {
 				continue
 			}
 			if s.sess != nil {
-				_ = s.sess.Conn.NetConn().Close()
+				_ = s.sess.Abort()
 				s.sess = nil
 				sw.active.Dec()
 			}
@@ -292,6 +347,7 @@ func (sw *Swarm) result(start time.Time) Result {
 	dur := time.Since(start)
 	r := Result{
 		Scenario:       sw.cfg.Scenario.Name,
+		Transport:      sw.cfg.Scenario.TransportName(),
 		Sessions:       sw.cfg.Sessions,
 		Workers:        sw.cfg.Workers,
 		PeakConcurrent: sw.active.Peak(),
@@ -307,6 +363,7 @@ func (sw *Swarm) result(start time.Time) Result {
 		AcceptP99Ns:    int64(acc.P99),
 		AcceptMaxNs:    int64(acc.Max),
 		ConnectP99Ns:   int64(conn.P99),
+		TipRefreshes:   sw.refreshes.Load(),
 	}
 	if dur > 0 {
 		r.SharesPerSec = float64(r.SharesOK) / dur.Seconds()
@@ -380,6 +437,7 @@ func (sw *Swarm) step(s *minerSession) {
 		s.dialAttempts = 0
 	}
 	if s.turnsLeft <= 0 {
+		sw.parkKeepalive(s)
 		sw.gate.finish() // parked: holds its socket, no goroutine
 		return
 	}
@@ -391,7 +449,9 @@ func (sw *Swarm) step(s *minerSession) {
 		err = sw.validTurn(s)
 	}
 	if err != nil {
-		// The turn already counted the protocol error; recycle the
+		// The turn already counted a protocol error — except stale
+		// thrash, which is load (tips moving faster than the session's
+		// turn cycle), not a dialect violation. Either way: recycle the
 		// transport and retry the remaining turns on a fresh session.
 		sw.dropConn(s)
 		sw.later(s, 50*time.Millisecond)
@@ -399,6 +459,7 @@ func (sw *Swarm) step(s *minerSession) {
 	}
 	s.turnsLeft--
 	if s.turnsLeft <= 0 {
+		sw.parkKeepalive(s)
 		sw.gate.finish()
 		return
 	}
@@ -410,6 +471,38 @@ func (sw *Swarm) step(s *minerSession) {
 		}
 	}
 	sw.later(s, sw.cfg.Scenario.Think)
+}
+
+// parkKeepalive keeps a parked server-clocked session alive through a
+// phase that outlasts the server's silence window: the dialect requires
+// clients to ping every session.KeepaliveInterval, and a parked swarm
+// session has no goroutine to do it — a timer chain stands in, writing
+// only (the replies accumulate in the socket buffer, like any push to a
+// parked session). The chain captures the session object and this
+// phase's gate; once the phase completes, ownership of the miner state
+// returns to Run (storm severs, drain closes) and the chain stops on
+// its next tick — at worst one ping races the teardown, which the
+// net.Conn tolerates.
+func (sw *Swarm) parkKeepalive(s *minerSession) {
+	if !s.tcp || s.sess == nil {
+		return
+	}
+	sess, g := s.sess, sw.gate
+	var ping func()
+	ping = func() {
+		select {
+		case <-g.done:
+			return
+		case <-sw.quit:
+			return
+		default:
+		}
+		if sess.Keepalive() != nil {
+			return // transport gone; the phase owner handles the rest
+		}
+		time.AfterFunc(session.KeepaliveInterval, ping)
+	}
+	time.AfterFunc(session.KeepaliveInterval, ping)
 }
 
 // connect dials, authenticates and receives the first job.
@@ -453,14 +546,18 @@ func (sw *Swarm) dropConn(s *minerSession) {
 	if s.sess == nil {
 		return
 	}
-	_ = s.sess.Conn.NetConn().Close()
+	_ = s.sess.Abort()
 	s.sess = nil
 	sw.active.Dec()
 }
 
-// validTurn submits one oracle share and expects hash_accepted followed
-// by the next job. A job push without an accept means the submitted job
-// went stale (chain tip moved); the turn retries on the fresh job.
+// validTurn submits one oracle share. Over ws it expects hash_accepted
+// followed by the next job; a job push without an accept means the
+// submitted job went stale (chain tip moved) and the turn retries on the
+// fresh work. Over TCP stratum the accept ends the turn (the dialect is
+// server-clocked — fresh work arrives by push, drained here whenever it
+// interleaves), and a stale submit is a named "stale job" error followed
+// by a replacement job notification.
 func (sw *Swarm) validTurn(s *minerSession) error {
 	for attempt := 0; attempt < 3; attempt++ {
 		nonce, sum, err := sw.oracle.Solve(s.job)
@@ -472,6 +569,8 @@ func (sw *Swarm) validTurn(s *minerSession) error {
 			return sw.protoError(s, "submit write", err)
 		}
 		accepted := false
+		stale := false
+	read:
 		for {
 			env, err := s.sess.ReadEnvelope()
 			if err != nil {
@@ -482,6 +581,9 @@ func (sw *Swarm) validTurn(s *minerSession) error {
 				sw.acceptNs.Observe(time.Since(t0))
 				sw.sharesOK.Inc()
 				accepted = true
+				if s.tcp {
+					return nil // server-clocked: no trailing job
+				}
 			case stratum.TypeJob:
 				if err := sw.adoptJob(s, env); err != nil {
 					return err
@@ -489,21 +591,34 @@ func (sw *Swarm) validTurn(s *minerSession) error {
 				if accepted {
 					return nil
 				}
-				// Stale job: the server silently re-issued work.
+				if !s.tcp || stale {
+					break read // stale re-issue: retry against the fresh job
+				}
+				// TCP push that overtook the response: adopt, keep reading.
 			case stratum.TypeError:
 				var e stratum.Error
 				_ = env.Decode(&e)
+				if s.tcp && e.Error == stratum.StaleJobMessage {
+					stale = true // the replacement job notification follows
+					continue
+				}
 				return sw.protoError(s, "valid share rejected", fmt.Errorf("%s", e.Error))
+			case stratum.MethodKeepalive:
+				// Ack for a parked-phase keepalive, drained on this turn.
 			default:
 				return sw.protoError(s, "unexpected reply to valid share", fmt.Errorf("type %q", env.Type))
 			}
-			if !accepted {
-				break // retry the submit against the fresh job
-			}
 		}
 	}
-	return sw.protoError(s, "job stayed stale across retries", nil)
+	// Every attempt went stale: the tip is moving faster than this
+	// session's turn cycle. That is backlog, not a protocol error — the
+	// caller reconnects and retries the turn.
+	return errStaleThrash
 }
+
+// errStaleThrash marks a turn starved by tip churn; it is retried, not
+// counted against the dialect.
+var errStaleThrash = errors.New("loadgen: job stayed stale across retries")
 
 // expect reads the next envelope and requires the given type.
 func (sw *Swarm) expect(s *minerSession, want string) (stratum.Envelope, error) {
@@ -614,7 +729,7 @@ func (sw *Swarm) malformedTurn(s *minerSession) error {
 			break
 		}
 	case 4: // garbage envelope → error, then the server hangs up
-		if err := s.sess.Conn.WriteMessage(ws.OpText, []byte("{definitely not json")); err != nil {
+		if err := s.sess.SendRaw([]byte("{definitely not json")); err != nil {
 			return sw.protoError(s, "garbage write", err)
 		}
 		if _, err := sw.expect(s, stratum.TypeError); err != nil {

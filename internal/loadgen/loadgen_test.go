@@ -4,19 +4,16 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cryptonight"
 	"repro/internal/metrics"
+	"repro/internal/session"
+	"repro/internal/stratum"
 )
 
-// runScenario drives a small swarm against a fresh in-process service
-// and returns the run's trajectory point.
-func runScenario(t *testing.T, name string, sessions int) Result {
+// runScenarioAgainst drives a small swarm against the given in-process
+// service and returns the run's trajectory point.
+func runScenarioAgainst(t *testing.T, target *InprocTarget, reg *metrics.Registry, name string, sessions int) Result {
 	t.Helper()
-	reg := metrics.NewRegistry()
-	target, err := StartInproc(2, reg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer target.Close()
 	sc, err := ScenarioByName(name)
 	if err != nil {
 		t.Fatal(err)
@@ -26,15 +23,17 @@ func runScenario(t *testing.T, name string, sessions int) Result {
 	if sc.Think > 0 {
 		sc.Think = 50 * time.Millisecond
 	}
-	res, err := Run(Config{
-		URL:      target.URL,
-		Sessions: sessions,
-		Workers:  16,
-		Scenario: sc,
-		Variant:  target.Pool.Chain().Params().PowVariant,
-		Registry: reg,
-		Deadline: 30 * time.Second,
-	})
+	if sc.RefreshEvery > 0 {
+		sc.RefreshEvery = 150 * time.Millisecond
+	}
+	cfg := target.Config()
+	cfg.Sessions = sessions
+	cfg.Workers = 16
+	cfg.Scenario = sc
+	cfg.Variant = target.Pool.Chain().Params().PowVariant
+	cfg.Registry = reg
+	cfg.Deadline = 30 * time.Second
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatalf("%s: %v (samples: %v)", name, err, res.ErrorSamples)
 	}
@@ -42,6 +41,18 @@ func runScenario(t *testing.T, name string, sessions int) Result {
 		t.Fatalf("%s: %d protocol errors: %v", name, res.ProtocolErrors, res.ErrorSamples)
 	}
 	return res
+}
+
+// runScenario is runScenarioAgainst with a throwaway service.
+func runScenario(t *testing.T, name string, sessions int) Result {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	target, err := StartInproc(2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	return runScenarioAgainst(t, target, reg, name, sessions)
 }
 
 func TestSteadyScenario(t *testing.T) {
@@ -73,7 +84,13 @@ func TestSteadyScenario(t *testing.T) {
 
 func TestChurnScenario(t *testing.T) {
 	const n = 24
-	res := runScenario(t, "churn", n)
+	reg := metrics.NewRegistry()
+	target, err := StartInproc(2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	res := runScenarioAgainst(t, target, reg, "churn", n)
 	// Every session closes and re-dials after each of its first two
 	// turns (the final turn parks).
 	if want := uint64(n * 2); res.Reconnects != want {
@@ -81,6 +98,106 @@ func TestChurnScenario(t *testing.T) {
 	}
 	if want := uint64(n * 3); res.SharesOK != want {
 		t.Errorf("SharesOK = %d, want %d", res.SharesOK, want)
+	}
+	if got := target.Pool.StatsSnapshot().SharesStale; got != 0 {
+		t.Errorf("SharesStale = %d before any tip move", got)
+	}
+
+	// Stale-share visibility: churn the tip under one more session and
+	// submit its now-dead job — the server must silently re-job and the
+	// engine must count it where operators can see it.
+	sess, err := session.Dial(target.URL+"/proxy0", stratum.Auth{SiteKey: "churn-stale", Type: "anonymous"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Timeout = 5 * time.Second
+	_, job, err := sess.Login()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cryptonight.GetHasher(target.Pool.Chain().Params().PowVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, sum, _, found := h.Grind(job.Blob, job.NonceOffset, job.Target, 0, 1<<16)
+	cryptonight.PutHasher(h)
+	if !found {
+		t.Fatal("no share at difficulty 2")
+	}
+	target.AdvanceTip()
+	if err := sess.Submit(job.ID, nonce, sum); err != nil {
+		t.Fatal(err)
+	}
+	env, err := sess.ReadEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != stratum.TypeJob {
+		t.Fatalf("stale submit reply = %s, want silent job re-issue", env.Type)
+	}
+	if got := target.Pool.StatsSnapshot().SharesStale; got != 1 {
+		t.Errorf("SharesStale = %d, want 1", got)
+	}
+}
+
+func TestTCPSteadyScenario(t *testing.T) {
+	const n = 32
+	res := runScenario(t, "tcp-steady", n)
+	if res.Transport != "tcp" {
+		t.Fatalf("Transport = %q", res.Transport)
+	}
+	if res.PeakConcurrent != n || res.EndConcurrent != n {
+		t.Errorf("concurrency peak/end = %d/%d, want %d", res.PeakConcurrent, res.EndConcurrent, n)
+	}
+	// Tip refreshes mid-run make some submits stale; the dialect re-jobs
+	// them and every turn still lands its share.
+	if want := uint64(n * 3); res.SharesOK != want {
+		t.Errorf("SharesOK = %d, want %d", res.SharesOK, want)
+	}
+	if res.TipRefreshes == 0 {
+		t.Error("tcp-steady ran without a single tip refresh")
+	}
+}
+
+func TestTCPStormScenario(t *testing.T) {
+	const n = 24
+	res := runScenario(t, "tcp-storm", n)
+	if res.Reconnects != n {
+		t.Errorf("Reconnects = %d, want %d", res.Reconnects, n)
+	}
+	if res.EndConcurrent != n {
+		t.Errorf("EndConcurrent = %d, want %d (swarm must survive the storm)", res.EndConcurrent, n)
+	}
+	if want := uint64(n*2 + n); res.SharesOK != want {
+		t.Errorf("SharesOK = %d, want %d", res.SharesOK, want)
+	}
+}
+
+// TestMixedScenario runs both dialects against one pool in one swarm:
+// the cross-transport story under load, with tip refreshes pushing jobs
+// to the TCP half and silently re-jobbing the ws half.
+func TestMixedScenario(t *testing.T) {
+	const n = 32
+	reg := metrics.NewRegistry()
+	target, err := StartInproc(2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	res := runScenarioAgainst(t, target, reg, "mixed", n)
+	if res.Transport != "mixed" {
+		t.Fatalf("Transport = %q", res.Transport)
+	}
+	if res.PeakConcurrent != n || res.EndConcurrent != n {
+		t.Errorf("concurrency peak/end = %d/%d, want %d", res.PeakConcurrent, res.EndConcurrent, n)
+	}
+	if want := uint64(n * 3); res.SharesOK != want {
+		t.Errorf("SharesOK = %d, want %d", res.SharesOK, want)
+	}
+	// Both dialects really hit one accounting plane.
+	if st := target.Pool.StatsSnapshot(); st.SharesOK != uint64(n*3) {
+		t.Errorf("pool SharesOK = %d, want %d", st.SharesOK, n*3)
 	}
 }
 

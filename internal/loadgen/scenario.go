@@ -6,6 +6,19 @@ import (
 	"time"
 )
 
+// Transport selectors for Scenario.Transport.
+const (
+	// TransportWS is the browser dialect: stratum envelopes over ws
+	// frames, strictly client-clocked. The zero value.
+	TransportWS = ""
+	// TransportTCP is the raw-TCP JSON-RPC stratum dialect native miners
+	// use — server-clocked job pushes.
+	TransportTCP = "tcp"
+	// TransportMixed alternates the two dialects session by session
+	// against one pool.
+	TransportMixed = "mixed"
+)
+
 // Scenario is one load shape. The schedules are open-loop: arrivals
 // follow the ramp regardless of how the service keeps up, the way
 // short-link visitors arrived at cnhv.co pages whether or not the pool
@@ -13,6 +26,15 @@ import (
 type Scenario struct {
 	Name        string
 	Description string
+
+	// Transport picks the dialect(s): TransportWS, TransportTCP or
+	// TransportMixed.
+	Transport string
+	// RefreshEvery, when >0, asks the driver to move the target's chain
+	// tip on this cadence mid-run (via Config.Refresh) — the event that
+	// makes the TCP dialect push jobs and both dialects field stale
+	// shares.
+	RefreshEvery time.Duration
 
 	// Turns is the number of share-submission exchanges per session.
 	Turns int
@@ -79,6 +101,45 @@ var scenarios = map[string]Scenario{
 		Turns:       2,
 		Ramp:        1500 * time.Millisecond,
 	},
+	"tcp-steady": {
+		Name:         "tcp-steady",
+		Description:  "steady over raw-TCP stratum, with tip refreshes driving job pushes",
+		Transport:    TransportTCP,
+		Turns:        3,
+		Ramp:         2 * time.Second,
+		RefreshEvery: 500 * time.Millisecond,
+	},
+	"tcp-storm": {
+		Name:        "tcp-storm",
+		Description: "full TCP swarm severed without handshake, then a reconnect storm",
+		Transport:   TransportTCP,
+		Turns:       2,
+		Ramp:        1 * time.Second,
+		Storm:       true,
+	},
+	"tcp-smoke": {
+		Name:        "tcp-smoke",
+		Description: "CI gate over raw-TCP stratum: fast ramp, two turns, park",
+		Transport:   TransportTCP,
+		Turns:       2,
+		Ramp:        1500 * time.Millisecond,
+	},
+	"mixed": {
+		Name:         "mixed",
+		Description:  "ws and TCP sessions interleaved against one pool, tip refreshes on",
+		Transport:    TransportMixed,
+		Turns:        3,
+		Ramp:         2 * time.Second,
+		RefreshEvery: 500 * time.Millisecond,
+	},
+}
+
+// TransportName names the scenario's dialect mix for reports.
+func (s Scenario) TransportName() string {
+	if s.Transport == TransportWS {
+		return "ws"
+	}
+	return s.Transport
 }
 
 // ScenarioByName resolves a named scenario.

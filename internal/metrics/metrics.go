@@ -159,6 +159,52 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// HistCursor marks a point in a histogram's life, so a caller can
+// compute quantiles over just the observations recorded after it —
+// per-phase percentiles from one cumulative instrument.
+type HistCursor struct {
+	count   uint64
+	sum     uint64
+	buckets [histBuckets]uint64
+}
+
+// Cursor captures the histogram's current state.
+func (h *Histogram) Cursor() HistCursor {
+	var c HistCursor
+	c.count = h.count.Load()
+	c.sum = h.sum.Load()
+	for i := range c.buckets {
+		c.buckets[i] = h.buckets[i].Load()
+	}
+	return c
+}
+
+// SnapshotSince computes a snapshot of the observations recorded after
+// the cursor was captured from this same histogram. Max is not tracked
+// per-interval, so the returned Max is zero; quantiles are the usual
+// conservative bucket upper bounds.
+func (h *Histogram) SnapshotSince(prev HistCursor) HistSnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load() - prev.buckets[i]
+		total += counts[i]
+	}
+	s := HistSnapshot{
+		Count: h.count.Load() - prev.count,
+		Sum:   time.Duration(h.sum.Load() - prev.sum),
+	}
+	if total == 0 {
+		return s
+	}
+	s.P50 = bucketQuantile(&counts, total, 50)
+	s.P99 = bucketQuantile(&counts, total, 99)
+	if s.P50 > s.P99 {
+		s.P50 = s.P99
+	}
+	return s
+}
+
 // bucketQuantile returns the upper bound of the first bucket whose
 // cumulative count reaches pct percent of total.
 func bucketQuantile(counts *[histBuckets]uint64, total uint64, pct uint64) time.Duration {

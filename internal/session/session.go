@@ -1,15 +1,23 @@
-// Package session implements the client half of the pool dialect — the
+// Package session implements the client half of the pool dialects — the
 // dial + auth handshake and the job decode (hex, de-obfuscation, nonce
 // offset recovery) every miner-side component repeats before it can do
 // anything useful. It is shared by the webminer (which then grinds real
 // nonces) and the loadgen swarm (which replays pre-ground ones); keeping
 // the protocol plumbing in one place is what guarantees the two speak
-// the identical dialect the server is tested against.
+// the identical dialects the server is tested against.
+//
+// Two dialects are supported behind one Session API, chosen by URL
+// scheme: the ws+coinhive browser dialect (ws:// and wss://) and the
+// newline-delimited JSON-RPC 2.0 TCP stratum dialect native miners use
+// (tcp://). Whatever the wire form, a transport surfaces the server's
+// messages as canonical stratum envelopes, so every consumer switches on
+// one message vocabulary.
 package session
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/stratum"
@@ -76,44 +84,109 @@ func NonceOffset(blob []byte) (int, error) {
 	return off, nil
 }
 
-// Session is one authenticated miner connection.
+// Transport is one dialect connection. Implementations translate between
+// the dialect's wire form and the canonical stratum envelope vocabulary;
+// they hold codec state only — session semantics live with the caller.
+// The zero deadline means block forever.
+type Transport interface {
+	// Send encodes one client message. msgType is a stratum.Type*
+	// constant; params its payload struct.
+	Send(msgType string, params interface{}, deadline time.Time) error
+	// SendRaw injects bytes as one dialect frame verbatim — the loadgen
+	// malformed scenario's protocol-violation hook.
+	SendRaw(data []byte, deadline time.Time) error
+	// ReadEnvelope returns the next server message in canonical form.
+	ReadEnvelope(deadline time.Time) (stratum.Envelope, error)
+	// Buffered reports whether a ReadEnvelope would return without
+	// touching the network — frames the server flushed together with
+	// one already consumed (e.g. a resolution notification riding a
+	// submit result) are drainable without risking a block.
+	Buffered() bool
+	// ServerClocked reports whether the dialect pushes work unsolicited
+	// (TCP stratum) or only ever answers (ws).
+	ServerClocked() bool
+	// Close ends the session with whatever goodbye the dialect defines.
+	Close() error
+	// Abort tears the transport down abruptly, no handshake — how a
+	// dying browser tab or severed endpoint looks from the server.
+	Abort() error
+}
+
+// Session is one authenticated miner connection over either dialect.
 type Session struct {
-	Conn *ws.Conn
-	// Timeout bounds each read; zero means block forever. A load
-	// generator sets it so a stalled server surfaces as a counted error
-	// instead of a stuck worker.
+	// Transport is the dialect codec underneath; most callers never
+	// touch it directly.
+	Transport Transport
+	// Timeout bounds each read and write; zero means block forever. A
+	// load generator sets it so a stalled server surfaces as a counted
+	// error instead of a stuck worker.
 	Timeout time.Duration
 }
 
-// Dial connects to a pool endpoint and sends the auth message. The
-// server's authed/job replies are read by Login (or directly via
-// ReadEnvelope) so callers can overlap dials.
+// Dial connects to a pool endpoint and sends the auth message. The URL
+// scheme picks the dialect: ws:// / wss:// for the browser dialect,
+// tcp:// for raw JSON-RPC stratum. The server's replies are read by
+// Login (or directly via ReadEnvelope) so callers can overlap dials.
 func Dial(url string, auth stratum.Auth) (*Session, error) {
-	conn, err := ws.Dial(url, nil)
+	var (
+		t   Transport
+		err error
+	)
+	if strings.HasPrefix(url, "tcp://") {
+		t, err = dialTCP(strings.TrimPrefix(url, "tcp://"))
+	} else {
+		t, err = dialWS(url)
+	}
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{Conn: conn}
+	s := &Session{Transport: t}
 	if err := s.Send(stratum.TypeAuth, auth); err != nil {
-		conn.Close()
+		_ = t.Abort()
 		return nil, err
 	}
 	return s, nil
 }
 
-// Send marshals params into an envelope and writes it as one text frame,
-// applying the session timeout to the write when one is set.
-func (s *Session) Send(msgType string, params interface{}) error {
-	data, err := stratum.Marshal(msgType, params)
-	if err != nil {
-		return err
-	}
+func (s *Session) deadline() time.Time {
 	if s.Timeout > 0 {
-		if err := s.Conn.SetWriteDeadline(time.Now().Add(s.Timeout)); err != nil {
-			return err
-		}
+		return time.Now().Add(s.Timeout)
 	}
-	return s.Conn.WriteMessage(ws.OpText, data)
+	return time.Time{}
+}
+
+// ServerClocked reports whether the dialect pushes jobs unsolicited —
+// clients of such a dialect keep mining their current job after an
+// accepted share instead of waiting for a reply job.
+func (s *Session) ServerClocked() bool { return s.Transport.ServerClocked() }
+
+// Send marshals params into one dialect frame, applying the session
+// timeout to the write when one is set.
+func (s *Session) Send(msgType string, params interface{}) error {
+	return s.Transport.Send(msgType, params, s.deadline())
+}
+
+// SendRaw writes data as one dialect frame verbatim.
+func (s *Session) SendRaw(data []byte) error {
+	return s.Transport.SendRaw(data, s.deadline())
+}
+
+// KeepaliveInterval is the cadence at which clients of a server-clocked
+// dialect ping during long silences (webminer's grind ticker uses it).
+// A server's silence window must comfortably exceed it — the default
+// StratumServer window of 90s gives three missed pings of margin.
+const KeepaliveInterval = 30 * time.Second
+
+// Keepalive pings a server-clocked pool so its silence window never
+// fires while the client is busy (e.g. a long nonce grind); it is a
+// no-op for dialects whose server expects no unsolicited client
+// traffic. Safe to call from a ticker goroutine concurrent with the
+// session's own sends.
+func (s *Session) Keepalive() error {
+	if !s.Transport.ServerClocked() {
+		return nil
+	}
+	return s.Send(stratum.MethodKeepalive, nil)
 }
 
 // Submit reports a found (or replayed) share for the given job.
@@ -125,24 +198,20 @@ func (s *Session) Submit(jobID string, nonce uint32, result [32]byte) error {
 	})
 }
 
-// ReadEnvelope reads the next message and decodes the outer envelope,
+// ReadEnvelope reads the next message in canonical envelope form,
 // applying the session timeout when one is set.
 func (s *Session) ReadEnvelope() (stratum.Envelope, error) {
-	if s.Timeout > 0 {
-		if err := s.Conn.SetReadDeadline(time.Now().Add(s.Timeout)); err != nil {
-			return stratum.Envelope{}, err
-		}
-	}
-	_, data, err := s.Conn.ReadMessage()
-	if err != nil {
-		return stratum.Envelope{}, err
-	}
-	return stratum.Unmarshal(data)
+	return s.Transport.ReadEnvelope(s.deadline())
 }
 
+// Buffered reports whether a ReadEnvelope would return without blocking
+// on the network.
+func (s *Session) Buffered() bool { return s.Transport.Buffered() }
+
 // Login completes the handshake after Dial: it expects authed followed
-// by the first job (exactly what the pool sends) and returns both. A
-// pool-side rejection surfaces as an error carrying the server's text.
+// by the first job (exactly what both dialects deliver) and returns
+// both. A pool-side rejection surfaces as an error carrying the server's
+// text.
 func (s *Session) Login() (stratum.Authed, Job, error) {
 	var authed stratum.Authed
 	gotAuthed := false
@@ -177,5 +246,59 @@ func (s *Session) Login() (stratum.Authed, Job, error) {
 	}
 }
 
-// Close performs the closing handshake.
-func (s *Session) Close() error { return s.Conn.Close() }
+// Close performs the dialect's closing handshake.
+func (s *Session) Close() error { return s.Transport.Close() }
+
+// Abort tears the connection down abruptly, no handshake.
+func (s *Session) Abort() error { return s.Transport.Abort() }
+
+// wsTransport is the browser dialect: stratum envelopes in ws text
+// frames, client-clocked. The canonical vocabulary IS this dialect's
+// wire form, so the codec is nearly free.
+type wsTransport struct {
+	conn *ws.Conn
+}
+
+func dialWS(url string) (*wsTransport, error) {
+	conn, err := ws.Dial(url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &wsTransport{conn: conn}, nil
+}
+
+func (t *wsTransport) Send(msgType string, params interface{}, deadline time.Time) error {
+	data, err := stratum.Marshal(msgType, params)
+	if err != nil {
+		return err
+	}
+	return t.SendRaw(data, deadline)
+}
+
+func (t *wsTransport) SendRaw(data []byte, deadline time.Time) error {
+	if err := t.conn.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	return t.conn.WriteMessage(ws.OpText, data)
+}
+
+func (t *wsTransport) ReadEnvelope(deadline time.Time) (stratum.Envelope, error) {
+	if err := t.conn.SetReadDeadline(deadline); err != nil {
+		return stratum.Envelope{}, err
+	}
+	_, data, err := t.conn.ReadMessage()
+	if err != nil {
+		return stratum.Envelope{}, err
+	}
+	return stratum.Unmarshal(data)
+}
+
+// Buffered is always false for ws: the dialect is client-clocked, so a
+// caller never needs to opportunistically drain it.
+func (t *wsTransport) Buffered() bool { return false }
+
+func (t *wsTransport) ServerClocked() bool { return false }
+
+func (t *wsTransport) Close() error { return t.conn.Close() }
+
+func (t *wsTransport) Abort() error { return t.conn.NetConn().Close() }

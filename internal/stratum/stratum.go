@@ -14,14 +14,15 @@ import (
 
 // Message types exchanged over the socket.
 const (
-	TypeAuth         = "auth"
-	TypeAuthed       = "authed"
-	TypeJob          = "job"
-	TypeSubmit       = "submit"
-	TypeHashAccepted = "hash_accepted"
-	TypeBanned       = "banned"
-	TypeError        = "error"
-	TypeLinkResolved = "link_resolved"
+	TypeAuth            = "auth"
+	TypeAuthed          = "authed"
+	TypeJob             = "job"
+	TypeSubmit          = "submit"
+	TypeHashAccepted    = "hash_accepted"
+	TypeBanned          = "banned"
+	TypeError           = "error"
+	TypeLinkResolved    = "link_resolved"
+	TypeCaptchaVerified = "captcha_verified"
 )
 
 // LinkResolved is pushed once a short link's hash goal has been met; it
@@ -29,6 +30,16 @@ const (
 type LinkResolved struct {
 	ID  string `json:"id"`
 	URL string `json:"url"`
+}
+
+// CaptchaVerified is pushed once a proof-of-work captcha's hash goal has
+// been met, carrying the one-time verification token the embedding site's
+// backend redeems. Older servers delivered the token by reusing the
+// link_resolved push (token in the URL field); clients keep decoding that
+// form for one release.
+type CaptchaVerified struct {
+	ID    string `json:"id"`
+	Token string `json:"token"`
 }
 
 // Envelope is the outer JSON frame: a type tag plus type-specific params.

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cryptonight"
 	"repro/internal/session"
@@ -59,7 +60,11 @@ type Result struct {
 // Mine connects, authenticates and keeps submitting shares until
 // wantShares have been accepted or (when LinkID is set) the link resolves.
 // The dial/login/job-decode plumbing lives in internal/session, shared
-// with the loadgen swarm.
+// with the loadgen swarm; the URL scheme picks the dialect (ws:// for
+// the browser dialect, tcp:// for raw JSON-RPC stratum), and the mining
+// loop adapts to the dialect's clocking: ws hands a job back after every
+// submit, TCP stratum pushes jobs only when the chain tip moves, so a
+// TCP session keeps grinding its current job between pushes.
 func (c *Client) Mine(wantShares int) (Result, error) {
 	var res Result
 	user := ""
@@ -74,6 +79,7 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 		return res, err
 	}
 	defer sess.Close()
+	serverClocked := sess.ServerClocked()
 
 	threads := c.Threads
 	if threads < 1 {
@@ -103,23 +109,79 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 		maxHashes = 1 << 22
 	}
 
-	var job *session.Job
+	// A server-clocked pool drops connections silent for longer than its
+	// keepalive window, and a long nonce grind is exactly such a silence;
+	// a ticker pings from the side (the transport serialises the writes).
+	// It starts only after login completes — the dialect rejects
+	// keepalives from unauthenticated sessions.
+	var kaStop chan struct{}
+	defer func() {
+		if kaStop != nil {
+			close(kaStop)
+		}
+	}()
+	startKeepalive := func() {
+		if !serverClocked || kaStop != nil {
+			return
+		}
+		kaStop = make(chan struct{})
+		go func(stop chan struct{}) {
+			tick := time.NewTicker(session.KeepaliveInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if sess.Keepalive() != nil {
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}(kaStop)
+	}
+
+	// haveJob gates the grind; submitted marks an in-flight submit whose
+	// resolution (accept, stale, error) the read loop below must observe
+	// before the next grind.
+	var job session.Job
+	haveJob := false
 	for {
-		if job != nil {
-			nonce, result, hashes, found := solveParallel(hashers, job, c.cursor, maxHashes)
+		submitted := false
+		if haveJob {
+			nonce, result, hashes, found := solveParallel(hashers, &job, c.cursor, maxHashes)
 			c.cursor = nonce + 1
 			res.HashesComputed += int64(hashes)
 			if !found {
-				job = nil // exhausted: wait for fresh work after a dummy submit cycle
 				return res, fmt.Errorf("webminer: exhausted %d hashes without a share", maxHashes)
 			}
 			if err := sess.Submit(job.ID, nonce, result); err != nil {
 				return res, err
 			}
-			job = nil
+			submitted = true
+			if !serverClocked {
+				haveJob = false // the reply job is this dialect's go-ahead
+			}
 		}
-		// Drain messages until the next job arrives.
-		for job == nil {
+		// Read until this turn resolves. With no submit in flight (the
+		// opening handshake) that is the first job; after a submit, the
+		// client-clocked dialect resolves on the next job (the server
+		// always sends one) and the server-clocked one on an accept or a
+		// stale re-job. Anything pushed in between (link resolution,
+		// fresh work) is handled in place.
+		accepted, stale := false, false
+		for {
+			if submitted && serverClocked {
+				// Drain anything the server flushed together with the
+				// resolution (a link_resolved/captcha_verified riding a
+				// submit accept) before grinding again — those frames are
+				// already buffered, so this never blocks.
+				if (accepted || (stale && haveJob)) && !sess.Buffered() {
+					break
+				}
+			} else if haveJob {
+				break
+			}
 			env, err := sess.ReadEnvelope()
 			if err != nil {
 				return res, err
@@ -137,12 +199,20 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 				if c.LinkID == "" && c.CaptchaID == "" && res.SharesAccepted >= wantShares {
 					return res, nil
 				}
+				accepted = true
 			case stratum.TypeLinkResolved:
 				var lr stratum.LinkResolved
 				if err := env.Decode(&lr); err != nil {
 					return res, err
 				}
 				res.ResolvedURL = lr.URL
+				return res, nil
+			case stratum.TypeCaptchaVerified:
+				var cv stratum.CaptchaVerified
+				if err := env.Decode(&cv); err != nil {
+					return res, err
+				}
+				res.ResolvedURL = cv.Token
 				return res, nil
 			case stratum.TypeJob:
 				var j stratum.Job
@@ -153,10 +223,17 @@ func (c *Client) Mine(wantShares int) (Result, error) {
 				if err != nil {
 					return res, err
 				}
-				job = &js
+				job, haveJob = js, true
+				startKeepalive()
 			case stratum.TypeError:
 				var e stratum.Error
 				_ = env.Decode(&e)
+				if serverClocked && e.Error == stratum.StaleJobMessage {
+					// The tip outran our job; the replacement notification
+					// follows. Invalidate the current job until it arrives.
+					stale, haveJob = true, false
+					continue
+				}
 				return res, fmt.Errorf("webminer: pool error: %s", e.Error)
 			}
 		}
