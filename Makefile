@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race check bench bench-diff bench-paper bench-submit load load-smoke
+.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke
 
 all: build vet test-short
 
@@ -20,9 +20,17 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detector pass over the concurrent pool core and its drivers
-# (including the TCP stratum push fan-out and the loadgen swarm).
+# (including the TCP stratum push fan-out, the loadgen swarm, the client
+# session/dialect layer and the loadd front-end).
 test-race:
-	$(GO) test -race ./internal/coinhive/... ./internal/webminer/... ./internal/loadgen/...
+	$(GO) test -race ./internal/coinhive/... ./internal/webminer/... ./internal/loadgen/... ./internal/session/... ./internal/stratum/... ./internal/ws/... ./cmd/loadd/...
+
+# Project-specific static analysis (internal/lint via cmd/repolint):
+# lockscope, hotpath, atomicfield, metricname and layering over every
+# package. Zero findings or the target fails; waivers need a reasoned
+# //lint:ignore. `repolint -json` emits machine-readable findings.
+lint:
+	$(GO) run ./cmd/repolint
 
 # CI gate: static checks (including building cmd/bench and the other
 # tools), the fast suite under the race detector, and the live-service
@@ -30,6 +38,7 @@ test-race:
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -short -race ./...
 	$(MAKE) load-smoke
 

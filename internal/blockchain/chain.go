@@ -29,7 +29,7 @@ var (
 // watcher's root comparison) reads the cache instead of re-hashing.
 type Chain struct {
 	mu        sync.RWMutex
-	params    Params
+	params    Params // immutable after NewChain; readable without mu
 	blocks    []*Block
 	index     map[[32]byte]uint64 // block ID -> height
 	ids       [][32]byte          // cached block IDs by height
@@ -39,9 +39,7 @@ type Chain struct {
 	generated uint64              // atomic units emitted so far
 	tipID     [32]byte            // cached ID of blocks[len-1]
 	nextDiff  uint64              // cached next-block difficulty
-	scratch   []byte              // hashing-blob scratch, reused under mu
 	tsScratch []uint64            // retarget/median scratch, reused under mu
-	hasher    *cryptonight.Hasher
 
 	subMu  sync.Mutex
 	subSeq int
@@ -101,11 +99,14 @@ func (c *Chain) notifyTip(tip [32]byte, height uint64) {
 // NewChain creates a chain holding only a genesis block with the given
 // timestamp, paying the genesis reward to `to`.
 func NewChain(p Params, genesisTimestamp uint64, to Address) (*Chain, error) {
-	h, err := cryptonight.NewHasher(p.PowVariant)
+	// Borrow-and-return validates the PoW variant up front and warms the
+	// pool that append()'s out-of-lock verification draws from.
+	h, err := cryptonight.GetHasher(p.PowVariant)
 	if err != nil {
 		return nil, err
 	}
-	c := &Chain{params: p, index: make(map[[32]byte]uint64), hasher: h}
+	cryptonight.PutHasher(h)
+	c := &Chain{params: p, index: make(map[[32]byte]uint64)}
 	g := &Block{
 		Header: Header{
 			MajorVersion: p.MajorVersion,
@@ -359,21 +360,50 @@ func (c *Chain) AppendUnchecked(b *Block) error {
 	return nil
 }
 
-// append validates and links b under the chain lock. The block's Merkle
-// root and ID are computed exactly once, into a reusable scratch buffer,
-// and cached for every later consumer.
+// blobScratch pools hashing-blob buffers so append() can serialise blocks
+// without holding any lock and without allocating at steady state.
+var blobScratch = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// append validates and links b. The block's Merkle root, ID and (when
+// verifying) PoW hash depend only on the block's own bytes, so they are
+// computed before c.mu is taken: a CryptoNight scratchpad walk costs
+// hundreds of microseconds, and holding the chain lock for it would stall
+// every template build and tip read behind one block's verification — the
+// same verify-outside-the-lock rule the pool applies to shares. The
+// chain-state checks (prev, dup, timestamp median, reward, difficulty)
+// run against the then-current tip under the write lock.
 func (c *Chain) append(b *Block, verifyPoW bool) (tip [32]byte, height uint64, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if verifyPoW && (b.MajorVersion != c.params.MajorVersion || b.MinorVersion != c.params.MinorVersion) {
 		return tip, 0, ErrBadVersion
 	}
+	// Fail fast on a stale parent before paying for serialisation and
+	// hashing; the authoritative check re-runs under the write lock.
+	c.mu.RLock()
+	tipNow := c.tipID
+	c.mu.RUnlock()
+	if b.PrevHash != tipNow {
+		return tip, 0, ErrBadPrev
+	}
+
+	root := b.MerkleRoot()
+	bufp := blobScratch.Get().(*[]byte)
+	blob := b.appendBlobWithRoot((*bufp)[:0], root)
+	id := IDFromBlob(blob)
+	var pow [32]byte
+	if verifyPoW {
+		pow = cryptonight.Sum(blob, c.params.PowVariant)
+	}
+	*bufp = blob
+	blobScratch.Put(bufp)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if b.PrevHash != c.tipID {
 		return tip, 0, ErrBadPrev
 	}
-	root := b.MerkleRoot()
-	c.scratch = b.appendBlobWithRoot(c.scratch[:0], root)
-	id := IDFromBlob(c.scratch)
 	if _, dup := c.index[id]; dup {
 		return tip, 0, ErrKnownBlock
 	}
@@ -393,7 +423,6 @@ func (c *Chain) append(b *Block, verifyPoW bool) (tip [32]byte, height uint64, e
 	}
 	diff := c.nextDiff
 	if verifyPoW {
-		pow := c.hasher.Sum(c.scratch)
 		if !cryptonight.CheckDifficulty(pow, diff) {
 			return tip, 0, fmt.Errorf("%w (difficulty %d)", ErrBadPoW, diff)
 		}

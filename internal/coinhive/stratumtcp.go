@@ -452,6 +452,7 @@ func (c *stratumConn) notify(method string, params interface{}) error {
 	if err := c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second)); err != nil {
 		return err
 	}
+	//lint:ignore lockscope wmu exists to serialise writers on this socket; the 2s deadline above bounds the hold
 	_, err = c.nc.Write(c.wbuf)
 	return err
 }

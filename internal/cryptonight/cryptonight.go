@@ -103,6 +103,8 @@ func NewHasher(v Variant) (*Hasher, error) {
 func (h *Hasher) Variant() Variant { return h.v }
 
 // Sum computes the CryptoNight hash of data.
+//
+//lint:hotpath
 func (h *Hasher) Sum(data []byte) [32]byte {
 	state := keccak.State1600(data)
 
@@ -187,6 +189,8 @@ func (h *Hasher) Sum(data []byte) [32]byte {
 // bounds checks — is hoisted out of the nonce loop; blob itself is never
 // written. It stops after maxHashes attempts, reporting how many hashes
 // were computed either way.
+//
+//lint:hotpath
 func (h *Hasher) Grind(blob []byte, nonceOffset int, target uint32, start uint32, maxHashes int) (nonce uint32, sum [32]byte, hashes int, found bool) {
 	return h.GrindStride(blob, nonceOffset, target, start, 1, maxHashes)
 }
@@ -194,8 +198,11 @@ func (h *Hasher) Grind(blob []byte, nonceOffset int, target uint32, start uint32
 // GrindStride is Grind scanning n = start, start+stride, start+2·stride, …
 // — the layout a thread pool uses to stripe one nonce space across workers
 // without duplicating an attempt.
+//
+//lint:hotpath
 func (h *Hasher) GrindStride(blob []byte, nonceOffset int, target uint32, start, stride uint32, maxHashes int) (nonce uint32, sum [32]byte, hashes int, found bool) {
 	if nonceOffset < 0 || nonceOffset+4 > len(blob) {
+		//lint:ignore hotpath programming-error guard, runs once per grind call, not per hash
 		panic(fmt.Sprintf("cryptonight: nonce offset %d out of range for %d-byte blob", nonceOffset, len(blob)))
 	}
 	h.blob = append(h.blob[:0], blob...)

@@ -35,6 +35,8 @@ var roundConstants = [24]uint64{
 // The state lives in registers for the whole permutation: theta, rho-pi and
 // chi are fully flattened (as in x/crypto/sha3), so each round is straight-
 // line code with no array indexing, loops or bounds checks.
+//
+//lint:hotpath
 func Permute(a *[25]uint64) {
 	a0, a1, a2, a3, a4 := a[0], a[1], a[2], a[3], a[4]
 	a5, a6, a7, a8, a9 := a[5], a[6], a[7], a[8], a[9]
@@ -146,6 +148,8 @@ func Permute(a *[25]uint64) {
 // padding, leaving the squeezed state in a. It writes the final padded block
 // directly into the lanes, so no block buffer — and no allocation — is
 // needed.
+//
+//lint:hotpath
 func absorb(a *[25]uint64, data []byte, rate int) {
 	for len(data) >= rate {
 		for i := 0; i < rate/8; i++ {
@@ -173,6 +177,8 @@ func absorb(a *[25]uint64, data []byte, rate int) {
 
 // Sum256 computes the legacy Keccak-256 digest of data. One-shot: the
 // sponge lives on the stack and nothing is heap-allocated.
+//
+//lint:hotpath
 func Sum256(data []byte) (out [32]byte) {
 	var a [25]uint64
 	absorb(&a, data, 136)
@@ -184,6 +190,8 @@ func Sum256(data []byte) (out [32]byte) {
 }
 
 // Sum512 computes the legacy Keccak-512 digest of data, allocation-free.
+//
+//lint:hotpath
 func Sum512(data []byte) (out [64]byte) {
 	var a [25]uint64
 	absorb(&a, data, 72)
@@ -195,6 +203,8 @@ func Sum512(data []byte) (out [64]byte) {
 
 // State1600 absorbs data with the Keccak-512 rate (72 bytes) and returns the
 // entire 200-byte sponge state. CryptoNight uses this as its initial state.
+//
+//lint:hotpath
 func State1600(data []byte) (out [StateSize]byte) {
 	var a [25]uint64
 	absorb(&a, data, 72)

@@ -1,0 +1,26 @@
+// Fixture for the atomicfield analyzer: shares is accessed through
+// sync/atomic in record(), so the plain read in snapshot() races; blocks is
+// never touched atomically and stays fair game for plain access.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	shares uint64
+	blocks uint64
+}
+
+func (c *counters) record() {
+	atomic.AddUint64(&c.shares, 1)
+	c.blocks++
+}
+
+func (c *counters) snapshot() uint64 {
+	return c.shares // want "plain access to atomicfield.shares"
+}
+
+func (c *counters) reset() {
+	c.shares = 0 // want "plain access to atomicfield.shares"
+	atomic.StoreUint64(&c.shares, 0)
+	c.blocks = 0
+}

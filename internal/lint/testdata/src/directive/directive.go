@@ -1,0 +1,19 @@
+// Fixture for the waiver machinery itself: a reasonless directive and an
+// unknown-analyzer directive are findings, and neither suppresses the
+// violation it sits on.
+package directive
+
+import "fmt"
+
+// hot exercises broken waivers.
+//
+//lint:hotpath
+func hot(n int) string {
+	// want-below "has no reason"
+	//lint:ignore hotpath
+	a := fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+	// want-below "malformed ignore directive"
+	//lint:ignore nosuchanalyzer because reasons
+	b := fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+	return a + b // want "string concatenation allocates"
+}

@@ -1,0 +1,39 @@
+// Fixture for the hotpath analyzer: the marked function must be flagged
+// construct by construct, the unmarked twin must stay silent.
+package hotpath
+
+import "fmt"
+
+// hot is on the per-share path.
+//
+//lint:hotpath
+func hot(user string, n int) string {
+	s := fmt.Sprintf("%s:%d", user, n) // want "fmt.Sprintf allocates"
+	s += "!"                           // want "string .= allocates"
+	b := make([]byte, 8)               // want "make allocates"
+	_ = b
+	c := []byte(user) // want "string -> ..byte conversion allocates"
+	_ = c
+	f := func() int { return n } // want "closure allocates"
+	_ = f
+	ids := []int{n} // want "slice literal allocates"
+	_ = ids
+	return s
+}
+
+// hotWaived carries a reasoned waiver for its one cold sub-path.
+//
+//lint:hotpath
+func hotWaived(n int) string {
+	if n < 0 {
+		//lint:ignore hotpath error path, never taken per accepted share
+		return fmt.Sprintf("bad %d", n)
+	}
+	return "ok"
+}
+
+// cold does all the same things with no mark; none of it is flagged.
+func cold(user string, n int) string {
+	s := fmt.Sprintf("%s:%d", user, n)
+	return s + string(make([]byte, n))
+}

@@ -1,0 +1,4 @@
+// Leaf package of the layering fixture.
+package a
+
+const A = 1

@@ -1,0 +1,6 @@
+// Package b violates its injected allowlist (which permits nothing).
+package b
+
+import "fix/a" // want "fix/b may not import fix/a"
+
+const B = a.A + 1

@@ -1,0 +1,7 @@
+// Package c imports only what its allowlist permits, but reaches the
+// denied package a transitively through b.
+package c
+
+import "fix/b" // want "fix/c must not reach fix/a"
+
+const C = b.B + 1

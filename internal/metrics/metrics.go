@@ -23,9 +23,13 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//lint:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//lint:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current count.
@@ -41,6 +45,8 @@ type Gauge struct {
 }
 
 // Add moves the gauge by delta and updates the peak.
+//
+//lint:hotpath
 func (g *Gauge) Add(delta int64) int64 {
 	now := g.v.Add(delta)
 	for {
@@ -58,6 +64,8 @@ func (g *Gauge) Inc() { g.Add(1) }
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Set forces the gauge to v (peak still tracks).
+//
+//lint:hotpath
 func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 	for {
@@ -91,6 +99,8 @@ type Histogram struct {
 }
 
 // Observe records one duration. Negative durations clamp to zero.
+//
+//lint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	ns := uint64(0)
 	if d > 0 {

@@ -37,9 +37,15 @@ type Job struct {
 	WireTarget  string
 }
 
+// errTruncatedBlob is static so job decoding stays allocation-free on
+// malformed input too.
+var errTruncatedBlob = errors.New("session: truncated blob")
+
 // DecodeJob decodes a wire job: hex decode, revert the fixed-offset XOR
 // (the step the official miner hides "deep within its WebAssembly"), and
 // recover the nonce offset from the header prefix.
+//
+//lint:hotpath
 func DecodeJob(j stratum.Job) (Job, error) {
 	blob, err := stratum.DecodeBlob(j.Blob)
 	if err != nil {
@@ -63,12 +69,14 @@ func DecodeJob(j stratum.Job) (Job, error) {
 // NonceOffset returns the nonce position in a (de-obfuscated) hashing
 // blob by skipping the three leading varints (major, minor, timestamp)
 // and the 32-byte prev hash.
+//
+//lint:hotpath
 func NonceOffset(blob []byte) (int, error) {
 	off := 0
 	for i := 0; i < 3; i++ {
 		for {
 			if off >= len(blob) {
-				return 0, errors.New("session: truncated blob")
+				return 0, errTruncatedBlob
 			}
 			b := blob[off]
 			off++
@@ -79,7 +87,7 @@ func NonceOffset(blob []byte) (int, error) {
 	}
 	off += 32 // prev hash
 	if off+4+32 > len(blob) {
-		return 0, errors.New("session: truncated blob")
+		return 0, errTruncatedBlob
 	}
 	return off, nil
 }

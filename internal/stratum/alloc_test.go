@@ -1,0 +1,111 @@
+package stratum
+
+import (
+	"strings"
+	"testing"
+)
+
+// Allocation pins for the wire codec paths every share crosses. The
+// bounds are measured upper bounds, not aspirations: a change that pushes
+// a path over its pin is a regression the benchmarks would only catch
+// later, if at all. The //lint:hotpath marks on the zero-alloc paths make
+// the same property machine-checked at the source level.
+
+func TestAppendDecodedBlobZeroAlloc(t *testing.T) {
+	wire := strings.Repeat("ab", 76)
+	dst := make([]byte, 0, 76)
+	avg := testing.AllocsPerRun(500, func() {
+		var err error
+		dst, err = AppendDecodedBlob(dst[:0], wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AppendDecodedBlob with scratch: %.1f allocs/op, want 0", avg)
+	}
+	// Rejection must be allocation-free too — static errors, no fmt.
+	bad := strings.Repeat("zz", 76)
+	avg = testing.AllocsPerRun(500, func() {
+		if _, err := AppendDecodedBlob(dst[:0], bad); err == nil {
+			t.Fatal("accepted bad hex")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AppendDecodedBlob rejection: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestObfuscateBlobZeroAlloc(t *testing.T) {
+	blob := make([]byte, 76)
+	avg := testing.AllocsPerRun(500, func() { ObfuscateBlob(blob) })
+	if avg != 0 {
+		t.Errorf("ObfuscateBlob: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestMarshalAllocsBounded(t *testing.T) {
+	params := Submit{JobID: "7-3-1", Nonce: "deadbeef", Result: strings.Repeat("0", 64)}
+	bound := 6.0
+	if raceEnabled {
+		bound += 3 // race instrumentation allocates inside encoding/json
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := Marshal(TypeSubmit, params); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > bound {
+		t.Errorf("Marshal(submit): %.1f allocs/op, want <= %.0f", avg, bound)
+	}
+}
+
+func TestUnmarshalAllocsBounded(t *testing.T) {
+	line, err := Marshal(TypeSubmit, Submit{JobID: "7-3-1", Nonce: "deadbeef", Result: strings.Repeat("0", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 8.0
+	if raceEnabled {
+		bound += 3
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := Unmarshal(line); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > bound {
+		t.Errorf("Unmarshal(submit): %.1f allocs/op, want <= %.0f", avg, bound)
+	}
+}
+
+func TestAppendRPCAllocsBounded(t *testing.T) {
+	bound := 6.0
+	if raceEnabled {
+		bound += 3
+	}
+	dst := make([]byte, 0, 512)
+	login := LoginParams{Login: "worker", Pass: "x", Agent: "bench/1"}
+	avg := testing.AllocsPerRun(500, func() {
+		var err error
+		dst, err = AppendRPCRequest(dst[:0], 42, MethodLogin, login)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > bound {
+		t.Errorf("AppendRPCRequest: %.1f allocs/op, want <= %.0f", avg, bound)
+	}
+
+	job := Job{JobID: "7-3-1", Blob: strings.Repeat("ab", 76), Target: "ffffff00"}
+	avg = testing.AllocsPerRun(500, func() {
+		var err error
+		dst, err = AppendRPCNotify(dst[:0], TypeJob, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > bound {
+		t.Errorf("AppendRPCNotify: %.1f allocs/op, want <= %.0f", avg, bound)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package stratum
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary; its instrumentation adds allocations to the JSON paths,
+// so the measured pins get slack under -race.
+const raceEnabled = false

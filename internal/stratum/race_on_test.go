@@ -1,0 +1,5 @@
+//go:build race
+
+package stratum
+
+const raceEnabled = true

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 )
 
 // RPC methods of the TCP dialect.
@@ -119,7 +120,7 @@ func AppendRPCRequest(dst []byte, id int64, method string, params interface{}) (
 		return nil, err
 	}
 	line, err := json.Marshal(RPCEnvelope{
-		ID:      json.RawMessage(fmt.Sprintf("%d", id)),
+		ID:      json.RawMessage(strconv.AppendInt(nil, id, 10)),
 		JSONRPC: "2.0",
 		Method:  method,
 		Params:  raw,

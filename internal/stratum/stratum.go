@@ -9,6 +9,7 @@ package stratum
 import (
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 )
 
@@ -125,6 +126,8 @@ var obfuscationKey = [8]byte{0x63, 0x6E, 0x68, 0x76, 0x2E, 0x63, 0x6F, 0x21}
 // transform is an involution: applying it twice restores the original, so
 // the web miner (and our non-web resolver) calls the same function to
 // revert it.
+//
+//lint:hotpath
 func ObfuscateBlob(blob []byte) {
 	if len(blob) < ObfuscationOffset+len(obfuscationKey) {
 		return // blob too short to carry the obfuscated window
@@ -137,19 +140,29 @@ func ObfuscateBlob(blob []byte) {
 // EncodeBlob hex-encodes a blob for the wire.
 func EncodeBlob(blob []byte) string { return hex.EncodeToString(blob) }
 
-// DecodeBlob decodes a wire blob.
+// DecodeBlob decodes a wire blob into a single right-sized allocation.
 func DecodeBlob(s string) ([]byte, error) {
-	return AppendDecodedBlob(nil, s)
+	return AppendDecodedBlob(make([]byte, 0, len(s)/2), s)
 }
+
+// Blob-decoding errors are static so the zero-alloc decode path stays
+// allocation-free on rejection too (a flood of malformed blobs must not
+// turn into a flood of error-formatting allocations).
+var (
+	ErrBlobOddLength = errors.New("stratum: bad blob hex: odd length")
+	ErrBlobBadDigit  = errors.New("stratum: bad blob hex digit")
+)
 
 // AppendDecodedBlob decodes a wire blob into dst, reusing its capacity. The
 // §4.2 watcher decodes hundreds of blobs per block interval; feeding a
 // scratch buffer here keeps its polling loop allocation-free. Hand-rolled
 // rather than encoding/hex.Decode because that takes a []byte source — the
 // string conversion would reintroduce the per-poll allocation.
+//
+//lint:hotpath
 func AppendDecodedBlob(dst []byte, s string) ([]byte, error) {
 	if len(s)%2 != 0 {
-		return nil, fmt.Errorf("stratum: bad blob hex: odd length %d", len(s))
+		return nil, ErrBlobOddLength
 	}
 	for i := 0; i < len(s); i += 2 {
 		hi := unhexTable[s[i]]
@@ -157,7 +170,7 @@ func AppendDecodedBlob(dst []byte, s string) ([]byte, error) {
 		// Valid digits decode to 0..15; 0xFF marks anything else, so a
 		// single range check covers both characters.
 		if hi|lo >= 0x10 {
-			return nil, fmt.Errorf("stratum: bad blob hex at byte %d", i/2)
+			return nil, ErrBlobBadDigit
 		}
 		dst = append(dst, hi<<4|lo)
 	}
@@ -191,13 +204,18 @@ func EncodeNonce(n uint32) string {
 	return hex.EncodeToString(b[:])
 }
 
+// Nonce/target parse errors are static so the per-submit decode paths
+// stay allocation-free on rejection.
+var (
+	ErrBadNonce  = errors.New("stratum: bad nonce")
+	ErrBadTarget = errors.New("stratum: bad target")
+)
+
 // DecodeNonce parses a Submit nonce.
+//
+//lint:hotpath
 func DecodeNonce(s string) (uint32, error) {
-	b, err := hex.DecodeString(s)
-	if err != nil || len(b) != 4 {
-		return 0, fmt.Errorf("stratum: bad nonce %q", s)
-	}
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	return decodeHexLE32(s, ErrBadNonce)
 }
 
 // EncodeTarget formats a compact target.
@@ -211,10 +229,30 @@ func EncodeTarget(t uint32) string {
 }
 
 // DecodeTarget parses a compact target.
+//
+//lint:hotpath
 func DecodeTarget(s string) (uint32, error) {
-	b, err := hex.DecodeString(s)
-	if err != nil || len(b) != 4 {
-		return 0, fmt.Errorf("stratum: bad target %q", s)
+	return decodeHexLE32(s, ErrBadTarget)
+}
+
+// decodeHexLE32 parses exactly eight hex digits as a little-endian uint32
+// through the same lookup table the blob decoder uses — hex.DecodeString
+// would allocate a 4-byte slice per call, which DecodeJob pays once per
+// pushed job per session.
+//
+//lint:hotpath
+func decodeHexLE32(s string, bad error) (uint32, error) {
+	if len(s) != 8 {
+		return 0, bad
 	}
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	var v uint32
+	for i := 0; i < 8; i += 2 {
+		hi := unhexTable[s[i]]
+		lo := unhexTable[s[i+1]]
+		if hi|lo >= 0x10 {
+			return 0, bad
+		}
+		v |= uint32(hi<<4|lo) << (4 * uint(i))
+	}
+	return v, nil
 }
