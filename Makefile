@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke
+.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke load-hostile
 
 all: build vet test-short
 
@@ -41,12 +41,22 @@ check:
 	$(MAKE) lint
 	$(GO) test -short -race ./...
 	$(MAKE) load-smoke
+	$(MAKE) load-hostile
 
 # Live-service gate (≈10s): both transports — 500 concurrent ws miner
 # sessions, then 500 concurrent raw-TCP stratum sessions — against an
 # in-process coinhived, zero protocol errors or the target fails.
 load-smoke:
 	$(GO) run ./cmd/loadd -smoke
+
+# Abuse gate (≈15s): a steady baseline fixes honest accept p99, then the
+# mixed-hostile population (80% honest vardiff-paced miners + duplicate
+# submitters, stale flooders, difficulty gamers and a reconnect hammer)
+# runs against a defended in-process target. Fails unless attackers are
+# banned with zero duplicate credit, honest cadence converges to the
+# vardiff goal ±25%, and honest p99 stays within 2× the baseline.
+load-hostile:
+	$(GO) run ./cmd/loadd -hostile-smoke
 
 # Full load-scenario catalogue (ws: steady/churn/storm/slow/malformed/
 # smoke; tcp: tcp-steady/tcp-storm/tcp-smoke; both: mixed) at swarm

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	coinhived [-listen :8080] [-stratum-addr :3333] [-share-diff 256] [-link-diff 16]
+//	coinhived -vardiff 240 -vardiff-min 16 -vardiff-max 65536   # per-session retargeting
+//	coinhived -ban-threshold 100 -ban-duration 10m -login-rate 2  # abuse containment
 //	coinhived -smoke        # boot the service, serve one stats request, exit
 //
 // Endpoints:
@@ -65,6 +67,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	shareDiff := fs.Uint64("share-diff", 256, "per-share difficulty")
 	linkDiff := fs.Uint64("link-diff", 16, "short-link share difficulty")
 	minDiff := fs.Uint64("min-difficulty", 1<<22, "network difficulty floor")
+	vardiff := fs.Uint64("vardiff", 0, "vardiff goal in accepted shares/min per session (0 disables retargeting)")
+	vardiffMin := fs.Uint64("vardiff-min", 0, "vardiff difficulty floor (default: share-diff/16, min 1)")
+	vardiffMax := fs.Uint64("vardiff-max", 0, "vardiff difficulty ceiling (default: share-diff*4096)")
+	banThreshold := fs.Uint64("ban-threshold", 0, "banscore that bans an identity (0 disables banning)")
+	banDuration := fs.Duration("ban-duration", 10*time.Minute, "how long a ban lasts")
+	banByIP := fs.Bool("ban-by-ip", false, "also score and ban by remote IP, not just site key")
+	loginRate := fs.Float64("login-rate", 0, "sustained logins/sec per identity when banning is on (0: default 5)")
+	submitRate := fs.Float64("submit-rate", 0, "sustained submits/sec per identity when banning is on (0: default 20)")
 	smoke := fs.Bool("smoke", false, "serve one stats request on an ephemeral port, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,9 +93,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Clock:               simclock.Real(),
 		ShareDifficulty:     *shareDiff,
 		LinkShareDifficulty: *linkDiff,
+		Vardiff: coinhive.VardiffConfig{
+			TargetSharesPerMin: float64(*vardiff),
+			MinDifficulty:      *vardiffMin,
+			MaxDifficulty:      *vardiffMax,
+		},
+		Ban: coinhive.BanConfig{
+			BanThreshold:     float64(*banThreshold),
+			BanDuration:      *banDuration,
+			BanByRemoteHost:  *banByIP,
+			LoginRatePerSec:  *loginRate,
+			SubmitRatePerSec: *submitRate,
+		},
 	})
 	if err != nil {
 		return err
+	}
+	if *vardiff > 0 {
+		fmt.Fprintf(out, "coinhived: vardiff on — %d shares/min per session\n", *vardiff)
+	}
+	if *banThreshold > 0 {
+		fmt.Fprintf(out, "coinhived: banscore on — threshold %d, bans last %s\n", *banThreshold, *banDuration)
 	}
 	handler := coinhive.NewServer(pool)
 

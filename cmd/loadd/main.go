@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	deadline := fs.Duration("deadline", 60*time.Second, "per-scenario time budget")
 	outFile := fs.String("out", "", "write the JSON report here")
 	smoke := fs.Bool("smoke", false, "CI gate: in-process smoke over both transports, assert full concurrency and zero protocol errors")
+	hostileSmoke := fs.Bool("hostile-smoke", false, "CI gate: steady baseline then mixed-hostile against a defended in-process target; assert containment, vardiff convergence and the honest-latency bound")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +98,16 @@ func run(args []string, out io.Writer) error {
 		*target = ""
 		if !sessionsSet {
 			*sessions = 500
+		}
+	} else if *hostileSmoke {
+		// The abuse gate: an honest steady run fixes the latency baseline,
+		// then the mixed-hostile population (80% honest, four attacker
+		// kinds) runs against the defended target and assertHostile checks
+		// the containment + convergence + honest-latency invariants.
+		names = []string{"steady", "mixed-hostile"}
+		*target = ""
+		if !sessionsSet {
+			*sessions = 300
 		}
 	} else if *scenario == "all" {
 		names = loadgen.ScenarioNames()
@@ -139,6 +150,18 @@ func run(args []string, out io.Writer) error {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 	}
+	// The defended target (vardiff + banscore enabled) is booted lazily,
+	// only if a Defended scenario actually runs, and kept separate from
+	// the plain target so the defense layer cannot perturb the baseline
+	// scenarios' numbers.
+	defReg := metrics.NewRegistry()
+	var defended *loadgen.InprocTarget
+	defer func() {
+		if defended != nil {
+			defended.Close()
+		}
+	}()
+	var baselineP99 int64 // steady accept p99, the hostile gate's yardstick
 	for _, name := range names {
 		sc, err := loadgen.ScenarioByName(name)
 		if err != nil {
@@ -151,14 +174,37 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "loadd: skipping %s (target has no raw-TCP stratum listener; pass -target-tcp)\n", name)
 			continue
 		}
+		runURL, runTCP, runRefresh, runTarget := url, tcpAddr, refresh, inproc
+		if sc.Defended {
+			if *target != "" {
+				// A remote target's defense tuning is unknown; the hostile
+				// scenarios assert exact containment behaviour, so they only
+				// run against a target this process configured.
+				fmt.Fprintf(out, "loadd: skipping %s (hostile scenarios need the in-process defended target; drop -target)\n", name)
+				continue
+			}
+			if defended == nil {
+				defended, err = loadgen.StartInprocOpts(loadgen.DefendedInprocOptions(*shareDiff, defReg))
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "loadd: defended coinhived on %s (stratum %s, vardiff + banscore on)\n",
+					defended.URL, defended.TCPAddr)
+			}
+			runURL, runTCP, runRefresh, runTarget = defended.URL, defended.TCPAddr, defended.AdvanceTip, defended
+		}
 		var pushCursor metrics.HistCursor
-		if inproc != nil {
-			pushCursor = inproc.Stratum.PushCursor()
+		var srvBefore map[string]uint64
+		if runTarget != nil {
+			pushCursor = runTarget.Stratum.PushCursor()
+		}
+		if sc.Defended {
+			srvBefore = counterValues(defReg)
 		}
 		res, err := loadgen.Run(loadgen.Config{
-			URL:       url,
-			TCPAddr:   tcpAddr,
-			Refresh:   refresh,
+			URL:       runURL,
+			TCPAddr:   runTCP,
+			Refresh:   runRefresh,
 			Endpoints: *endpoints,
 			Sessions:  *sessions,
 			Workers:   *workers,
@@ -170,20 +216,40 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w (samples: %v)", name, err, res.ErrorSamples)
 		}
-		if inproc != nil {
+		if runTarget != nil {
 			// Job-push fan-out is measured server-side; the cursor scopes
 			// both the count and the latency percentiles to this scenario.
-			pushes, lat := inproc.Stratum.PushStatsSince(pushCursor)
+			pushes, lat := runTarget.Stratum.PushStatsSince(pushCursor)
 			res.JobPushes = pushes
 			if pushes > 0 {
 				res.PushP99Ns = int64(lat.P99)
 			}
+		}
+		if sc.Defended {
+			// The defended registry is cumulative across scenarios; deltas
+			// scope the server-side defense counters to this row.
+			after := counterValues(defReg)
+			delta := func(name string) uint64 { return after[name] - srvBefore[name] }
+			res.SrvBans = delta("server.bans")
+			res.SrvRetargets = delta("server.retargets")
+			res.SrvSharesForged = delta("server.shares_forged")
+			res.SrvStaleFloods = delta("server.stale_flood")
+			res.SrvDupShares = delta("server.shares_duplicate")
+			res.SrvRateLimited = delta("server.rate_limited")
+			res.SrvLoginsBanned = delta("server.logins_banned")
+			res.PoolDupShares = delta("pool.shares_duplicate")
 		}
 		rep.Results = append(rep.Results, res)
 		fmt.Fprintf(out, "loadd: %-10s [%s] sessions=%d peak=%d shares_ok=%d shares/s=%.0f accept p50=%s p99=%s max=%s reconnects=%d pushes=%d push_p99=%s proto_errors=%d\n",
 			res.Scenario, res.Transport, res.Sessions, res.PeakConcurrent, res.SharesOK, res.SharesPerSec,
 			time.Duration(res.AcceptP50Ns), time.Duration(res.AcceptP99Ns), time.Duration(res.AcceptMaxNs),
 			res.Reconnects, res.JobPushes, time.Duration(res.PushP99Ns), res.ProtocolErrors)
+		if sc.Attack != loadgen.AttackNone {
+			fmt.Fprintf(out, "loadd: %-10s contained: banned=%d (srv %d) dup_rejected=%d dup_credited=%d rate_limited=%d stale_flood=%d retargets=%d honest=%d cadence=%.0f/min @diff=%d\n",
+				res.Scenario, res.SessionsBanned, res.SrvBans, res.RejectedDuplicate, res.DuplicateCredited,
+				res.RejectedRateLimit, res.RejectedStaleFlood, res.SrvRetargets,
+				res.HonestSessions, res.HonestCadencePerMin, res.ConvergedDifficulty)
+		}
 
 		if *smoke {
 			if err := assertSmoke(res, *sessions); err != nil {
@@ -191,6 +257,18 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "loadd: %s OK — %d concurrent %s sessions sustained, zero protocol errors\n",
 				res.Scenario, res.EndConcurrent, res.Transport)
+		}
+		if *hostileSmoke {
+			switch name {
+			case "steady":
+				baselineP99 = res.AcceptP99Ns
+			case "mixed-hostile":
+				if err := assertHostile(res, baselineP99); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "loadd: mixed-hostile OK — %d attackers contained, honest cadence %.0f/min at difficulty %d, p99 within bound\n",
+					res.SessionsBanned, res.HonestCadencePerMin, res.ConvergedDifficulty)
+			}
 		}
 	}
 
@@ -228,4 +306,44 @@ func assertSmoke(res loadgen.Result, sessions int) error {
 		return fmt.Errorf("smoke: SharesOK = %d, want %d", res.SharesOK, want)
 	}
 	return nil
+}
+
+// assertHostile is the abuse gate: the defended pool must have contained
+// the attackers (at least one ban, zero duplicate credit), steered the
+// honest population to the vardiff goal (±25%), and kept honest accept
+// latency within 2× the steady baseline (plus a small absolute floor so
+// a sub-millisecond baseline doesn't make scheduler jitter a failure).
+func assertHostile(res loadgen.Result, baselineP99 int64) error {
+	if res.ProtocolErrors != 0 {
+		return fmt.Errorf("hostile: %d protocol errors: %v", res.ProtocolErrors, res.ErrorSamples)
+	}
+	if res.DuplicateCredited != 0 {
+		return fmt.Errorf("hostile: pool credited %d duplicate shares (must be zero)", res.DuplicateCredited)
+	}
+	if res.SessionsBanned == 0 || res.SrvBans == 0 {
+		return fmt.Errorf("hostile: no attacker was banned (client saw %d, server counted %d)",
+			res.SessionsBanned, res.SrvBans)
+	}
+	const goal = 12.0 // DefendedInprocOptions vardiff target
+	if res.HonestCadencePerMin < goal*0.75 || res.HonestCadencePerMin > goal*1.25 {
+		return fmt.Errorf("hostile: honest cadence %.1f shares/min, want within ±25%% of %.0f (converged difficulty %d over %d sessions)",
+			res.HonestCadencePerMin, goal, res.ConvergedDifficulty, res.HonestSessions)
+	}
+	if bound := 2*baselineP99 + int64(5*time.Millisecond); baselineP99 > 0 && res.AcceptP99Ns > bound {
+		return fmt.Errorf("hostile: honest accept p99 %s exceeds 2× steady baseline %s (+5ms floor)",
+			time.Duration(res.AcceptP99Ns), time.Duration(baselineP99))
+	}
+	return nil
+}
+
+// counterValues reads every counter in a registry by name, for
+// before/after deltas (reads go through Snapshots, not re-registration).
+func counterValues(reg *metrics.Registry) map[string]uint64 {
+	m := map[string]uint64{}
+	for _, s := range reg.Snapshots() {
+		if s.Kind == "counter" {
+			m[s.Name] = s.Value
+		}
+	}
+	return m
 }

@@ -12,7 +12,7 @@ import (
 	"repro/internal/stratum"
 )
 
-func newTestPool(t *testing.T, shareDiff uint64) *Pool {
+func newTestPool(t *testing.T, shareDiff uint64, mut ...func(*PoolConfig)) *Pool {
 	t.Helper()
 	p := blockchain.SimParams()
 	// Keep the network difficulty far above the share difficulty so a test
@@ -24,17 +24,25 @@ func newTestPool(t *testing.T, shareDiff uint64) *Pool {
 		t.Fatal(err)
 	}
 	sim := simclock.New(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC))
-	pool, err := NewPool(PoolConfig{
+	cfg := PoolConfig{
 		Chain:           chain,
 		Wallet:          blockchain.AddressFromString("coinhive-wallet"),
 		Clock:           sim,
 		ShareDifficulty: shareDiff,
-	})
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	pool, err := NewPool(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return pool
 }
+
+// noDupMemo disables the per-account duplicate memo, for tests that
+// deliberately replay one premined share through the credit path.
+func noDupMemo(c *PoolConfig) { c.ShareMemoSize = -1 }
 
 func TestIDCodecRoundTrip(t *testing.T) {
 	// The ID sequence is bijective base-36: after "z" comes "00" (all
@@ -162,21 +170,26 @@ func TestJobIDCodecRoundTrip(t *testing.T) {
 		seq     uint32
 		slot    int
 		link    bool
+		diff    uint64
 	}{
-		{0, 1, 0, false},
-		{15, 4294967295, 7, false},
-		{3, 42, 5, true},
-		{9, 0, 1, true},
+		{0, 1, 0, false, 0},
+		{15, 4294967295, 7, false, 0},
+		{3, 42, 5, true, 0},
+		{9, 0, 1, true, 0},
+		{0, 1, 0, false, 1},
+		{15, 4294967295, 7, false, 4096},
+		{9, 7, 3, false, 8},
 	}
 	for _, c := range cases {
-		id := makeJobID(c.backend, c.seq, c.slot, c.link)
-		b, seq, slot, link, ok := parseJobID(id)
-		if !ok || b != c.backend || seq != c.seq || slot != c.slot || link != c.link {
-			t.Errorf("round trip %+v via %q -> (%d,%d,%d,%v,%v)", c, id, b, seq, slot, link, ok)
+		id := makeJobID(c.backend, c.seq, c.slot, c.link, c.diff)
+		b, seq, slot, link, diff, ok := parseJobID(id)
+		if !ok || b != c.backend || seq != c.seq || slot != c.slot || link != c.link || diff != c.diff {
+			t.Errorf("round trip %+v via %q -> (%d,%d,%d,%v,%d,%v)", c, id, b, seq, slot, link, diff, ok)
 		}
 	}
-	for _, bad := range []string{"", "-", "1-", "1-2", "x-1-2", "1-x-2", "1-2-x", "99999", "-1-2-3", "1-2--L"} {
-		if _, _, _, _, ok := parseJobID(bad); ok {
+	for _, bad := range []string{"", "-", "1-", "1-2", "x-1-2", "1-x-2", "1-2-x", "99999", "-1-2-3", "1-2--L",
+		"1-2-3-d", "1-2-3-dx", "1-2-3-d0", "1-2-3-d-1", "1-2-3-L-d"} {
+		if _, _, _, _, _, ok := parseJobID(bad); ok {
 			t.Errorf("parseJobID(%q) accepted malformed ID", bad)
 		}
 	}
@@ -210,9 +223,15 @@ func TestJobBlobIsObfuscated(t *testing.T) {
 	}
 }
 
-// mineShare grinds a valid share for the given job.
-func mineShare(t *testing.T, pool *Pool, j stratum.Job) (uint32, [32]byte) {
+// mineShare grinds a valid share for the given job, searching from the
+// optional start nonce (so a test can mint distinct shares for one job —
+// the duplicate memo rejects a replayed nonce by design).
+func mineShare(t *testing.T, pool *Pool, j stratum.Job, start ...uint32) (uint32, [32]byte) {
 	t.Helper()
+	var from uint32
+	if len(start) > 0 {
+		from = start[0]
+	}
 	blob, err := stratum.DecodeBlob(j.Blob)
 	if err != nil {
 		t.Fatal(err)
@@ -232,7 +251,7 @@ func mineShare(t *testing.T, pool *Pool, j stratum.Job) (uint32, [32]byte) {
 		t.Fatal(err)
 	}
 	off := hdr.NonceOffset()
-	for n := uint32(0); n < 1_000_000; n++ {
+	for n := from; n < from+1_000_000; n++ {
 		blockchain.SpliceNonce(blob, off, n)
 		sum := h.Sum(blob)
 		if cryptonight.CheckCompactTarget(sum, target) {

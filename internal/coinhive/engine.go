@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/simclock"
 	"repro/internal/stratum"
 )
 
@@ -79,11 +80,19 @@ type Event struct {
 	Authed   stratum.Authed          // EvAuthed
 	Job      stratum.Job             // EvJob
 	Stale    bool                    // EvJob: re-issued because the submitted job went stale
+	Retarget bool                    // EvJob: difficulty retarget — server-clocked dialects must push it
 	Accepted stratum.HashAccepted    // EvAccepted
 	Link     stratum.LinkResolved    // EvLinkResolved
 	Captcha  stratum.CaptchaVerified // EvCaptchaVerified
 	Err      string                  // EvError
 	Fatal    bool                    // EvError: drop the session after delivering
+	// Code is the dialect-independent rejection code (a stratum.RPC*
+	// constant) for EvError; 0 means the transport derives one from the
+	// command kind as before.
+	Code int
+	// Banned marks an EvError caused by the peer's identity being banned;
+	// the ws dialect renders it as its own "banned" message type.
+	Banned bool
 }
 
 // SessionTransport is the server side of one dialect connection: a codec
@@ -111,11 +120,28 @@ type Engine struct {
 	pool    *Pool
 	connSeq uint64
 
+	// clock drives vardiff and banscore timestamps; it is the pool's
+	// clock, so simulated services stay deterministic.
+	clock   simclock.Clock
+	vardiff VardiffConfig
+	ban     BanConfig
+	// abuse is the striped per-identity banscore/rate-limit table; nil
+	// when the defense layer is disabled.
+	abuse *abuseTable
+
 	sessions      *metrics.Gauge   // live miner sessions across all transports
 	sessionsTotal *metrics.Counter // sessions ever accepted
 	authReject    *metrics.Counter // sessions dropped during auth
 	jobsSent      *metrics.Counter // job messages handed out (replies + pushes)
 	submitNs      *metrics.Histogram
+
+	retargets    *metrics.Counter // vardiff retargets applied
+	bans         *metrics.Counter // bans issued
+	loginsBanned *metrics.Counter // logins rejected because the identity is banned
+	rateLimited  *metrics.Counter // logins/submits rejected by the rate limiter
+	dupShares    *metrics.Counter // submits rejected by the per-session duplicate memo
+	staleFloods  *metrics.Counter // too-many-stale errors issued
+	forgedDiffs  *metrics.Counter // submits at a difficulty tier never served
 }
 
 // NewEngine wires an engine over a pool, registering the server.*
@@ -123,14 +149,42 @@ type Engine struct {
 // by name, so engines sharing a registry share instruments.
 func NewEngine(p *Pool) *Engine {
 	reg := p.Metrics()
-	return &Engine{
+	e := &Engine{
 		pool:          p,
+		clock:         p.Clock(),
+		vardiff:       p.Vardiff(),
+		ban:           p.Ban(),
 		sessions:      reg.Gauge("server.sessions"),
 		sessionsTotal: reg.Counter("server.sessions_total"),
 		authReject:    reg.Counter("server.auth_reject"),
 		jobsSent:      reg.Counter("server.jobs_sent"),
 		submitNs:      reg.Histogram("server.submit_ns"),
+		retargets:     reg.Counter("server.retargets"),
+		bans:          reg.Counter("server.bans"),
+		loginsBanned:  reg.Counter("server.logins_banned"),
+		rateLimited:   reg.Counter("server.rate_limited"),
+		dupShares:     reg.Counter("server.shares_duplicate"),
+		staleFloods:   reg.Counter("server.stale_flood"),
+		forgedDiffs:   reg.Counter("server.shares_forged"),
 	}
+	if e.ban.Enabled() {
+		e.abuse = newAbuseTable(e.ban)
+	}
+	return e
+}
+
+// AbuseState snapshots an identity's decayed banscore and ban deadline
+// (zeroes when the defense layer is off or the identity is unknown). The
+// cross-transport tests assert dialect-independence with it.
+func (e *Engine) AbuseState(key string) (score float64, bannedUntil time.Time) {
+	if e.abuse == nil {
+		return 0, time.Time{}
+	}
+	s, untilNs := e.abuse.state(key, e.clock.Now().UnixNano())
+	if untilNs != 0 {
+		bannedUntil = time.Unix(0, untilNs)
+	}
+	return s, bannedUntil
 }
 
 // Pool exposes the pool the engine fronts.
@@ -155,6 +209,11 @@ func (e *Engine) NewSession(endpoint int) *MinerSession {
 func (e *Engine) ServeSession(endpoint int, t SessionTransport) {
 	ms := e.NewSession(endpoint)
 	ms.serverClocked = t.ServerClocked()
+	// Transports that know their peer's address expose it for per-host
+	// banning; the interface is optional so codec fakes stay three methods.
+	if rh, ok := t.(interface{ RemoteHost() string }); ok {
+		ms.remote = rh.RemoteHost()
+	}
 	defer ms.Close()
 	for {
 		cmd, err := t.ReadCommand()
@@ -191,6 +250,24 @@ type MinerSession struct {
 	lowDiff   bool
 	closed    bool
 
+	// remote is the transport's peer host (empty when unknown); used only
+	// for optional per-host banning.
+	remote string
+
+	// Vardiff state. curDiff is the difficulty currently served: 0 means
+	// the session is on the static tier (vardiff off, or a link/captcha
+	// session). Atomic because CurrentJob reads it from the TCP push
+	// fan-out goroutine; the rest is Step-goroutine only.
+	curDiff      atomic.Uint64
+	prevDiff     uint64 // one retarget of grace for in-flight shares
+	vdWin        vardiffWindow
+	lastAcceptNs int64
+
+	// Defense state: consecutive stale submissions since the last accept,
+	// and the session-local memo of accepted share keys.
+	staleRun int
+	dupMemo  shareMemo
+
 	evs []Event // reused reply buffer; valid until the next Step
 }
 
@@ -209,9 +286,17 @@ func (ms *MinerSession) Close() {
 
 // CurrentJob mints the session's current PoW input — what a server-clocked
 // transport pushes when the chain tip moves. Safe for concurrent use with
-// Step once the session is authed.
+// Step once the session is authed (curDiff is the one retarget-mutated
+// field it reads, and it is atomic).
 func (ms *MinerSession) CurrentJob() stratum.Job {
 	ms.eng.jobsSent.Inc()
+	return ms.mintJob()
+}
+
+func (ms *MinerSession) mintJob() stratum.Job {
+	if d := ms.curDiff.Load(); d != 0 {
+		return ms.eng.pool.JobAt(ms.endpoint, ms.slot, d)
+	}
 	return ms.eng.pool.Job(ms.endpoint, ms.slot, ms.lowDiff)
 }
 
@@ -220,16 +305,49 @@ func (ms *MinerSession) emit(ev Event) {
 }
 
 func (ms *MinerSession) emitJob(stale bool) {
+	ms.emitJobRetarget(stale, false)
+}
+
+func (ms *MinerSession) emitJobRetarget(stale, retarget bool) {
 	ms.eng.jobsSent.Inc()
 	ms.emit(Event{
-		Kind:  EvJob,
-		Job:   ms.eng.pool.Job(ms.endpoint, ms.slot, ms.lowDiff),
-		Stale: stale,
+		Kind:     EvJob,
+		Job:      ms.mintJob(),
+		Stale:    stale,
+		Retarget: retarget,
 	})
 }
 
 func (ms *MinerSession) emitError(msg string, fatal bool) {
 	ms.emit(Event{Kind: EvError, Err: msg, Fatal: fatal})
+}
+
+// offend scores one abuse point total against the session's identity (and,
+// when configured, its remote host). It returns true when the offense
+// crossed the ban threshold — a fatal banned event has then been emitted
+// and the caller must stop producing replies for this command.
+func (ms *MinerSession) offend(pts float64, nowNs int64) bool {
+	e := ms.eng
+	if e.abuse == nil || pts <= 0 {
+		return false
+	}
+	banned, newly := e.abuse.bump(ms.siteKey, pts, nowNs)
+	if e.ban.BanByRemoteHost && ms.remote != "" {
+		b2, n2 := e.abuse.bump("ip:"+ms.remote, pts, nowNs)
+		banned = banned || b2
+		newly = newly || n2
+	}
+	if !banned {
+		return false
+	}
+	if newly {
+		e.bans.Inc()
+	}
+	ms.emit(Event{
+		Kind: EvError, Err: stratum.BannedMessage,
+		Fatal: true, Banned: true, Code: stratum.RPCBanned,
+	})
+	return true
 }
 
 // Step advances the state machine by one client message and returns the
@@ -255,24 +373,83 @@ func (ms *MinerSession) Step(cmd Command) []Event {
 		ms.submit(cmd)
 	case CmdKeepalive:
 		ms.emit(Event{Kind: EvKeepalive})
+		// The keepalive is the one clock a server-clocked dialect gives a
+		// silent session: evaluate the idle downstep on it, so a session
+		// whose difficulty outgrew its hashrate (or a sandbagger gone
+		// quiet) descends back toward the goal cadence.
+		if ms.curDiff.Load() != 0 {
+			if _, ok := ms.vardiffIdle(ms.eng.clock.Now().UnixNano()); ok {
+				ms.emitJobRetarget(false, true)
+			}
+		}
 	case CmdGarbage:
+		// Fatal either way; scoring it means a reconnect-and-garbage loop
+		// still accumulates toward a ban.
+		if ms.offend(ms.eng.ban.MalformedScore, ms.abuseNowNs()) {
+			return ms.evs
+		}
 		ms.emitError("bad message", true)
 	case CmdBadParams:
+		if ms.offend(ms.eng.ban.MalformedScore, ms.abuseNowNs()) {
+			return ms.evs
+		}
 		ms.emitError(cmd.Reply, false)
 	case CmdUnknown:
+		if ms.offend(ms.eng.ban.MalformedScore, ms.abuseNowNs()) {
+			return ms.evs
+		}
 		ms.emitError("unexpected "+cmd.Name, false)
 	}
 	return ms.evs
+}
+
+// abuseNowNs reads the clock only when the defense layer will use it.
+func (ms *MinerSession) abuseNowNs() int64 {
+	if ms.eng.abuse == nil {
+		return 0
+	}
+	return ms.eng.clock.Now().UnixNano()
 }
 
 // open authenticates the session: validate the site key, resolve link or
 // captcha attachment, and hand out the account ack plus the first job.
 func (ms *MinerSession) open(auth stratum.Auth) []Event {
 	p := ms.eng.pool
+	e := ms.eng
 	if auth.SiteKey == "" {
-		ms.eng.authReject.Inc()
+		e.authReject.Inc()
 		ms.emitError("invalid site key", true)
 		return ms.evs
+	}
+	ms.siteKey = auth.SiteKey
+	if e.abuse != nil {
+		nowNs := e.clock.Now().UnixNano()
+		// Ban check before anything else: a banned identity gets the named
+		// rejection, cheaply, whatever else it sends.
+		if e.abuse.isBanned(auth.SiteKey, nowNs) ||
+			(e.ban.BanByRemoteHost && ms.remote != "" && e.abuse.isBanned("ip:"+ms.remote, nowNs)) {
+			e.authReject.Inc()
+			e.loginsBanned.Inc()
+			ms.emit(Event{
+				Kind: EvError, Err: stratum.BannedMessage,
+				Fatal: true, Banned: true, Code: stratum.RPCBanned,
+			})
+			return ms.evs
+		}
+		if !e.abuse.allowLogin(auth.SiteKey, nowNs) {
+			e.authReject.Inc()
+			e.rateLimited.Inc()
+			// The trip itself is an offense: a reconnect hammer burning
+			// login tokens converts its own rejections into a ban.
+			if ms.offend(e.ban.RateLimitScore, nowNs) {
+				return ms.evs
+			}
+			ms.emit(Event{
+				Kind: EvError, Err: stratum.RateLimitedMessage,
+				Fatal: true, Code: stratum.RPCRateLimited,
+			})
+			return ms.evs
+		}
 	}
 	switch {
 	case strings.HasPrefix(auth.User, "link:"):
@@ -291,7 +468,14 @@ func (ms *MinerSession) open(auth stratum.Auth) []Event {
 		}
 	}
 	ms.lowDiff = ms.linkID != "" || ms.captchaID != ""
-	ms.siteKey = auth.SiteKey
+	// Vardiff applies to ordinary sessions only: link/captcha sessions
+	// mine toward fixed hash goals at the dedicated low tier, so
+	// retargeting them would change goal semantics mid-visit.
+	if e.vardiff.Enabled() && !ms.lowDiff {
+		ms.curDiff.Store(e.vardiff.clampDiff(p.ShareDifficulty(false)))
+		ms.vdWin.init(e.vardiff.WindowShares)
+		ms.lastAcceptNs = e.clock.Now().UnixNano()
+	}
 	acct := p.Authorize(auth.SiteKey)
 	ms.emit(Event{Kind: EvAuthed, Authed: stratum.Authed{
 		Token: acct.Token, Hashes: int64(acct.TotalHashes),
@@ -303,15 +487,64 @@ func (ms *MinerSession) open(auth stratum.Auth) []Event {
 
 // submit scores one decoded share and emits the dialect-independent
 // outcome: credit (plus link/captcha progress), a named rejection, or a
-// silent stale re-job.
+// silent stale re-job. The defense screens — rate limit, duplicate memo,
+// served-tier check — run before the pool call, so every abusive shape is
+// rejected without the CryptoNight verify it is trying to make us burn.
 func (ms *MinerSession) submit(cmd Command) {
 	p := ms.eng.pool
+	e := ms.eng
+	if e.abuse != nil {
+		nowNs := e.clock.Now().UnixNano()
+		if !e.abuse.allowSubmit(ms.siteKey, nowNs) {
+			e.rateLimited.Inc()
+			if ms.offend(e.ban.RateLimitScore, nowNs) {
+				return
+			}
+			ms.emit(Event{
+				Kind: EvError, Err: stratum.RateLimitedMessage,
+				Code: stratum.RPCRateLimited,
+			})
+			return
+		}
+		// Session-local duplicate memo: replays of a share this session
+		// was already paid for are named and scored. (The per-account memo
+		// in SubmitShare remains the authoritative net — it survives
+		// reconnects and covers direct-API callers.)
+		if ms.dupMemo.has(shareMemoKey(cmd.JobID, cmd.Nonce)) {
+			e.dupShares.Inc()
+			if ms.offend(e.ban.DuplicateScore, nowNs) {
+				return
+			}
+			ms.emitError(stratum.DuplicateShareMessage, false)
+			return
+		}
+	}
+	// Served-tier check: a vardiff session may only submit the difficulty
+	// it is being served (or the one just before it — one retarget of
+	// grace for in-flight shares). Anything else is a diff gamer forging
+	// cheap targets; answer with the unknown-job re-job shape, scored,
+	// without parsing further or verifying.
+	if d := ms.curDiff.Load(); d != 0 {
+		if _, _, _, _, vd, pok := parseJobID(cmd.JobID); pok && vd != d && (vd == 0 || vd != ms.prevDiff) {
+			e.forgedDiffs.Inc()
+			if ms.offend(e.ban.ForgedDiffScore, ms.abuseNowNs()) {
+				return
+			}
+			ms.emitJob(true)
+			return
+		}
+	}
 	verifyStart := time.Now()
 	out, err := p.SubmitShare(ms.siteKey, cmd.JobID, cmd.Nonce, cmd.Result, ms.linkID)
 	ms.eng.submitNs.Observe(time.Since(verifyStart))
 	stale := false
+	retargeted := false
 	switch err {
 	case nil:
+		ms.staleRun = 0
+		if e.abuse != nil {
+			ms.sessionMemoAdd(shareMemoKey(cmd.JobID, cmd.Nonce))
+		}
 		ms.emit(Event{Kind: EvAccepted, Accepted: stratum.HashAccepted{Hashes: int64(out.Credited)}})
 		if ms.linkID != "" {
 			if url, derr := p.Links().Destination(ms.linkID); derr == nil {
@@ -326,27 +559,71 @@ func (ms *MinerSession) submit(cmd Command) {
 				}})
 			}
 		}
+		if ms.curDiff.Load() != 0 {
+			_, retargeted = ms.vardiffAccept(e.clock.Now().UnixNano())
+		}
 	case ErrStaleJob:
 		// Stale tip: the share was honest work against a job the chain has
 		// outrun. Count it and hand out fresh work; the transport decides
 		// whether its dialect names the condition (TCP) or stays silent (ws).
 		p.sharesStale.Inc()
+		ms.staleRun++
+		if e.ban.Enabled() && ms.staleRun > e.ban.StaleFloodAfter {
+			// Bounded retry loop: a client that keeps submitting dead work
+			// stops earning re-jobs and gets the named flood error instead
+			// — tip churn can no longer be ridden into unbounded retries.
+			e.staleFloods.Inc()
+			if ms.offend(e.ban.StaleFloodScore, ms.abuseNowNs()) {
+				return
+			}
+			ms.emit(Event{
+				Kind: EvError, Err: stratum.TooManyStaleMessage,
+				Code: stratum.RPCTooManyStale,
+			})
+			return
+		}
 		stale = true
 	case ErrUnknownJob:
 		// Never-issued identifier. The wire answer is the same re-job the
 		// original dialect gave (pinned by the conformance scenarios), but
 		// it is not tip churn, so pool.shares_stale stays untouched.
 		stale = true
+	case ErrDuplicateShare:
+		// The account-level memo caught a replay the session memo could
+		// not see (e.g. resubmitted across a reconnect). Same reply and
+		// score as the session-level hit; no fresh work for replays.
+		if ms.offend(e.ban.DuplicateScore, ms.abuseNowNs()) {
+			return
+		}
+		ms.emitError(stratum.DuplicateShareMessage, false)
+		return
 	default:
 		ms.emitError(err.Error(), false)
 	}
 	// The client-clocked dialect re-jobs after every submit; a
 	// server-clocked one only when the submitted job died (its routine
 	// fresh work arrives by push, so minting a job here would be wasted
-	// shard work and an overcount of jobs actually handed out).
+	// shard work and an overcount of jobs actually handed out) — or when a
+	// retarget must reach the miner mid-session.
 	if stale || !ms.serverClocked {
-		ms.emitJob(stale)
+		ms.emitJobRetarget(stale, retargeted)
+	} else if retargeted {
+		ms.emitJobRetarget(false, true)
 	}
+}
+
+// sessionMemoAdd records an accepted share key in the session-local ring,
+// sized lazily to the pool's memo depth (bounded at 64 — the session memo
+// is a fast path; the account memo is the authoritative one).
+func (ms *MinerSession) sessionMemoAdd(key uint64) {
+	if ms.dupMemo.keys == nil {
+		size := ms.eng.pool.cfg.ShareMemoSize
+		if size <= 0 || size > 64 {
+			size = 64
+		}
+		ms.dupMemo.keys = make([]uint64, size)
+	}
+	ms.dupMemo.insert(key)
 }
 
 // submitCommand decodes the wire-level share fields shared by every

@@ -1,6 +1,7 @@
 package coinhive_test
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -33,15 +34,21 @@ func startStratum(t *testing.T, handler *coinhive.Server, keepalive ...time.Dura
 	return ss, ln.Addr().String()
 }
 
-// grindShare finds one nonce meeting the job's share target.
-func grindShare(t *testing.T, pool *coinhive.Pool, job session.Job) (uint32, [32]byte) {
+// grindShare finds one nonce meeting the job's share target, searching
+// from the optional start nonce (so callers can mint distinct shares for
+// one job — the duplicate memos reject a replayed nonce by design).
+func grindShare(t *testing.T, pool *coinhive.Pool, job session.Job, start ...uint32) (uint32, [32]byte) {
 	t.Helper()
+	var from uint32
+	if len(start) > 0 {
+		from = start[0]
+	}
 	h, err := cryptonight.GetHasher(pool.Chain().Params().PowVariant)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cryptonight.PutHasher(h)
-	nonce, sum, _, found := h.Grind(job.Blob, job.NonceOffset, job.Target, 0, 1<<16)
+	nonce, sum, _, found := h.Grind(job.Blob, job.NonceOffset, job.Target, from, 1<<16)
 	if !found {
 		t.Fatal("no share found within 1<<16 hashes")
 	}
@@ -71,8 +78,16 @@ func TestCrossTransportAccountingIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		var jobIDs []string
-		nonce, sum := grindShare(t, srv.pool, job)
+		var nonce uint32
+		var sum [32]byte
 		for i := 0; i < shares; i++ {
+			// A fresh nonce per share: the duplicate memos reject a replay
+			// of the previous (job, nonce) by design.
+			if i == 0 {
+				nonce, sum = grindShare(t, srv.pool, job)
+			} else {
+				nonce, sum = grindShare(t, srv.pool, job, nonce+1)
+			}
 			jobIDs = append(jobIDs, job.ID)
 			if err := sess.Submit(job.ID, nonce, sum); err != nil {
 				t.Fatal(err)
@@ -156,9 +171,9 @@ func (s *httptestServerPair) wsURL(n int) string {
 // The ws endpoint to use for cross-transport comparisons is /proxy1: the
 // TCP front assigns its first connection endpoint 1 as well, and both
 // engines hand their first session rotation slot 1.
-func newServicePair(t *testing.T, shareDiff uint64) *httptestServerPair {
+func newServicePair(t *testing.T, shareDiff uint64, mut ...func(*coinhive.PoolConfig)) *httptestServerPair {
 	t.Helper()
-	srv, handler, pool := startService(t, shareDiff)
+	srv, handler, pool := startService(t, shareDiff, mut...)
 	_, addr := startStratum(t, handler)
 	return &httptestServerPair{
 		httpURL: srv.URL,
@@ -268,5 +283,166 @@ func TestCaptchaVerifiedMessageType(t *testing.T) {
 	}
 	if err := pool.Captchas().Verify(cap.ID, cv.Token); err != nil {
 		t.Errorf("pushed token does not verify: %v", err)
+	}
+}
+
+// TestCrossTransportDefenseIdentical is the defended twin of
+// TestCrossTransportAccountingIdentical: the same hostile-then-honest
+// session driven through each dialect against identically-seeded
+// defended pools must retarget, credit, reject and ban identically.
+//
+// The frozen test clock makes the vardiff window read an infinite
+// cadence, so the retarget path is deterministic: after MinWindowShares
+// (4) accepts the difficulty steps by the full ×8 cap, 4 → 32.
+func TestCrossTransportDefenseIdentical(t *testing.T) {
+	const siteKey = "xdefense-key"
+	defended := func(c *coinhive.PoolConfig) {
+		c.Vardiff = coinhive.VardiffConfig{
+			TargetSharesPerMin: 240,
+			MinDifficulty:      1,
+			MaxDifficulty:      4096,
+		}
+		c.Ban = coinhive.BanConfig{
+			BanThreshold:   100,
+			DuplicateScore: 25,
+			BanDuration:    time.Minute,
+		}
+	}
+
+	run := func(t *testing.T, dial func(srv *httptestServerPair) (*session.Session, error)) (coinhive.Stats, coinhive.Account, float64, time.Time) {
+		srv := newServicePair(t, 4, defended)
+		sess, err := dial(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		sess.Timeout = 5 * time.Second
+		_, job, err := sess.Login()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasSuffix(job.ID, "-d4") {
+			t.Fatalf("first job %q not minted at the starting tier", job.ID)
+		}
+
+		// Four accepts at difficulty 4 fill the vardiff window; the
+		// fourth triggers the retarget, whose new job both dialects must
+		// deliver (ws as its routine re-job, TCP as a push notification).
+		var nonce uint32
+		var sum [32]byte
+		var retargetJob session.Job
+		submitOne := func(i int, needJob bool) {
+			t.Helper()
+			if err := sess.Submit(job.ID, nonce, sum); err != nil {
+				t.Fatal(err)
+			}
+			accepted := false
+			for !accepted || needJob {
+				env, err := sess.ReadEnvelope()
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch env.Type {
+				case stratum.TypeHashAccepted:
+					accepted = true
+				case stratum.TypeJob:
+					if !accepted {
+						t.Fatalf("share %d: job before accept", i)
+					}
+					var j stratum.Job
+					if err := env.Decode(&j); err != nil {
+						t.Fatal(err)
+					}
+					if retargetJob, err = session.DecodeJob(j); err != nil {
+						t.Fatal(err)
+					}
+					needJob = false
+				default:
+					t.Fatalf("share %d: unexpected %s", i, env.Type)
+				}
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if i == 0 {
+				nonce, sum = grindShare(t, srv.pool, job)
+			} else {
+				nonce, sum = grindShare(t, srv.pool, job, nonce+1)
+			}
+			submitOne(i, !sess.ServerClocked() || i == 3)
+		}
+		if !strings.HasSuffix(retargetJob.ID, "-d32") {
+			t.Fatalf("retarget job %q, want the ×8 step to difficulty 32", retargetJob.ID)
+		}
+
+		// One in-flight share on the old tier rides the prevDiff grace:
+		// still accepted, credited at the difficulty it was ground for.
+		nonce, sum = grindShare(t, srv.pool, job, nonce+1)
+		submitOne(4, !sess.ServerClocked())
+
+		// The duplicate flood: replaying the just-paid share is named and
+		// scored (25 a hit); the fourth offense crosses the threshold.
+		for i := 0; i < 3; i++ {
+			if err := sess.Submit(job.ID, nonce, sum); err != nil {
+				t.Fatal(err)
+			}
+			env, err := sess.ReadEnvelope()
+			if err != nil || env.Type != stratum.TypeError {
+				t.Fatalf("replay %d: got %s (%v), want error", i+1, env.Type, err)
+			}
+			var e stratum.Error
+			if err := env.Decode(&e); err != nil || e.Error != stratum.DuplicateShareMessage {
+				t.Fatalf("replay %d: error = %q (%v), want %q", i+1, e.Error, err, stratum.DuplicateShareMessage)
+			}
+		}
+		if err := sess.Submit(job.ID, nonce, sum); err != nil {
+			t.Fatal(err)
+		}
+		if env, err := sess.ReadEnvelope(); err != nil || env.Type != stratum.TypeBanned {
+			t.Fatalf("fourth replay: got %s (%v), want banned", env.Type, err)
+		}
+
+		// The ban outlives the connection on both dialects.
+		if s2, err := dial(srv); err == nil {
+			_, _, err = s2.Login()
+			s2.Close()
+			if !errors.Is(err, session.ErrBanned) {
+				t.Fatalf("relogin after ban: err = %v, want ErrBanned", err)
+			}
+		}
+
+		stats := srv.pool.StatsSnapshot()
+		acct, ok := srv.pool.AccountSnapshot(siteKey)
+		if !ok {
+			t.Fatal("account missing")
+		}
+		score, until := srv.handler.Engine().AbuseState(siteKey)
+		return stats, acct, score, until
+	}
+
+	wsStats, wsAcct, wsScore, wsUntil := run(t, func(srv *httptestServerPair) (*session.Session, error) {
+		return session.Dial(srv.wsURL(1), stratum.Auth{SiteKey: siteKey, Type: "anonymous"})
+	})
+	tcpStats, tcpAcct, tcpScore, tcpUntil := run(t, func(srv *httptestServerPair) (*session.Session, error) {
+		return session.Dial("tcp://"+srv.tcpAddr, stratum.Auth{SiteKey: siteKey, Type: "anonymous"})
+	})
+
+	if wsStats != tcpStats {
+		t.Errorf("stats diverge:\n ws=%+v\ntcp=%+v", wsStats, tcpStats)
+	}
+	if wsStats.SharesOK != 5 {
+		t.Errorf("SharesOK = %d, want 5 (4 window fills + 1 grace share)", wsStats.SharesOK)
+	}
+	// Credit scales with the difficulty in the job ID: 4 shares at 4
+	// plus the grace share at its old tier's 4 — never the new 32.
+	if wsAcct.TotalHashes != 20 || tcpAcct.TotalHashes != 20 {
+		t.Errorf("credit ws=%d tcp=%d, want 20 each", wsAcct.TotalHashes, tcpAcct.TotalHashes)
+	}
+	// The ban consumed the score; both frozen clocks started at the same
+	// instant, so the deadlines must agree to the nanosecond.
+	if wsScore != 0 || tcpScore != 0 {
+		t.Errorf("banscores = (%v, %v), want consumed to 0", wsScore, tcpScore)
+	}
+	if wsUntil.IsZero() || !wsUntil.Equal(tcpUntil) {
+		t.Errorf("ban deadlines diverge: ws=%v tcp=%v", wsUntil, tcpUntil)
 	}
 }

@@ -58,6 +58,21 @@ type PoolConfig struct {
 	// private registry, so instrumentation is always wired; the Server
 	// shares this registry for its server.* instruments and /metrics.
 	Metrics *metrics.Registry
+	// Vardiff configures per-session difficulty retargeting (vardiff.go);
+	// the zero value keeps the static ShareDifficulty for every session.
+	// It lives in the pool config because the pool must honour the job
+	// IDs the engine mints at retargeted tiers.
+	Vardiff VardiffConfig
+	// Ban configures the banscore/rate-limit defense layer (banscore.go);
+	// the zero value disables it. Enforced by the engine, configured here
+	// so one config describes the whole service.
+	Ban BanConfig
+	// ShareMemoSize is the per-account duplicate-share memo depth: the
+	// last N accepted (job, nonce) pairs per account are remembered and
+	// resubmissions rejected with ErrDuplicateShare. 0 means the default
+	// (128); negative disables the memo (benchmarks and tests that replay
+	// premined shares by design).
+	ShareMemoSize int
 }
 
 func (c *PoolConfig) fillDefaults() {
@@ -85,6 +100,11 @@ func (c *PoolConfig) fillDefaults() {
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
+	if c.ShareMemoSize == 0 {
+		c.ShareMemoSize = 128
+	}
+	c.Vardiff.fillDefaults(c.ShareDifficulty)
+	c.Ban.fillDefaults()
 }
 
 // Account tracks one site key (the paper treats tokens and users as
@@ -116,6 +136,10 @@ var (
 	ErrBadShare     = errors.New("coinhive: share hash does not verify")
 	ErrLowShare     = errors.New("coinhive: share above target")
 	ErrUnknownToken = errors.New("coinhive: unknown site key")
+	// ErrDuplicateShare rejects a (job, nonce) pair the account was
+	// already credited for — the pool-layer dedupe beneath the engine's
+	// per-session memo, so direct-API callers cannot double-credit either.
+	ErrDuplicateShare = errors.New("coinhive: duplicate share")
 )
 
 // backendShard is one backend system's template and job state. Each shard
@@ -142,6 +166,63 @@ type accountStripe struct {
 	mu    sync.Mutex
 	accts map[string]*Account
 	round map[string]uint64 // hashes credited since the last found block
+	memo  map[string]*shareMemo
+}
+
+// shareMemo remembers the last N accepted share keys for one account (or
+// one session — the engine embeds the same ring). Lookup is a linear scan
+// of at most ShareMemoSize uint64s under a lock already held for the
+// credit; no hashing happens inside it.
+type shareMemo struct {
+	keys []uint64 // ring storage; len(keys) is the capacity
+	n    int      // live entries
+	head int      // overwrite cursor once full
+}
+
+func (m *shareMemo) has(k uint64) bool {
+	if m == nil { // account with no accepted shares yet
+		return false
+	}
+	for i := 0; i < m.n; i++ {
+		if m.keys[i] == k {
+			return true
+		}
+	}
+	return false
+}
+
+// insert records k, evicting the oldest entry when full. It returns false
+// (and records nothing) when k is already present.
+func (m *shareMemo) insert(k uint64) bool {
+	if m.has(k) {
+		return false
+	}
+	if m.n < len(m.keys) {
+		m.keys[m.n] = k
+		m.n++
+		return true
+	}
+	m.keys[m.head] = k
+	m.head = (m.head + 1) % len(m.keys)
+	return true
+}
+
+// shareMemoKey folds a submission's identity to the memo's fixed-width
+// key (FNV-1a over job ID and nonce). A 64-bit digest over ≤128 live
+// entries makes an accidental collision — a rejected honest share —
+// vanishingly unlikely, and a deliberate collision still earns the
+// attacker nothing but their own rejection.
+func shareMemoKey(jobID string, nonce uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(jobID); i++ {
+		h ^= uint64(jobID[i])
+		h *= 1099511628211
+	}
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(nonce >> (8 * i)))
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Pool is the in-process pool core. The network front (Server) and the
@@ -173,7 +254,10 @@ type Pool struct {
 	// a job the chain tip outran, answered with a silent (ws) or named
 	// (TCP) re-job rather than an error. The engine increments it, so the
 	// split is visible per-service, not per-transport.
-	sharesBad    *metrics.Counter
+	sharesBad *metrics.Counter
+	// sharesDup counts the subset of sharesBad rejected by the per-account
+	// duplicate memo: a (job, nonce) pair the account was already paid for.
+	sharesDup    *metrics.Counter
 	sharesStale  *metrics.Counter
 	blocksFound  *metrics.Counter
 	shardRefresh *metrics.Counter
@@ -207,6 +291,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		captchas:     NewCaptchaService(cfg.Wallet[:16]),
 		sharesOK:     cfg.Metrics.Counter("pool.shares_ok"),
 		sharesBad:    cfg.Metrics.Counter("pool.shares_bad"),
+		sharesDup:    cfg.Metrics.Counter("pool.shares_duplicate"),
 		sharesStale:  cfg.Metrics.Counter("pool.shares_stale"),
 		blocksFound:  cfg.Metrics.Counter("pool.blocks_found"),
 		shardRefresh: cfg.Metrics.Counter("pool.shard_refresh"),
@@ -214,6 +299,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	for i := range p.stripes {
 		p.stripes[i].accts = map[string]*Account{}
 		p.stripes[i].round = map[string]uint64{}
+		p.stripes[i].memo = map[string]*shareMemo{}
 	}
 	p.targetHex = stratum.EncodeTarget(cryptonight.DifficultyForTarget(cfg.ShareDifficulty))
 	p.linkTargetHex = stratum.EncodeTarget(cryptonight.DifficultyForTarget(cfg.LinkShareDifficulty))
@@ -251,6 +337,16 @@ func (p *Pool) ShareDifficulty(lowDiff bool) uint64 {
 // Chain exposes the underlying chain.
 func (p *Pool) Chain() *blockchain.Chain { return p.cfg.Chain }
 
+// Clock exposes the pool's clock; the engine's vardiff and banscore
+// timestamps come from it so simulated services stay deterministic.
+func (p *Pool) Clock() simclock.Clock { return p.cfg.Clock }
+
+// Vardiff exposes the (defaults-filled) vardiff configuration.
+func (p *Pool) Vardiff() VardiffConfig { return p.cfg.Vardiff }
+
+// Ban exposes the (defaults-filled) defense-layer configuration.
+func (p *Pool) Ban() BanConfig { return p.cfg.Ban }
+
 // Metrics exposes the registry the pool's instruments live in.
 func (p *Pool) Metrics() *metrics.Registry { return p.cfg.Metrics }
 
@@ -265,14 +361,21 @@ func (p *Pool) BackendOfEndpoint(endpoint int) int {
 }
 
 // makeJobID encodes the owning backend, the shard's refresh generation and
-// the template slot into the wire job identifier ("backend-seq-slot", with a
-// "-L" suffix for link-difficulty jobs). A share routes straight to its
-// shard and slot without any per-job lookup table, and the generation makes
-// identifiers from before a tip change unresolvable — the stale-job
-// rejection the per-job map used to provide. IDs are minted once per shard
-// refresh, not once per poll.
-func makeJobID(backend int, seq uint32, slot int, link bool) string {
-	var buf [28]byte
+// the template slot into the wire job identifier ("backend-seq-slot", with
+// a "-L" suffix for link-difficulty jobs and a "-d<N>" suffix for
+// vardiff-retargeted ones, N being the decimal difficulty served). A share
+// routes straight to its shard and slot without any per-job lookup table,
+// and the generation makes identifiers from before a tip change
+// unresolvable — the stale-job rejection the per-job map used to provide.
+// Static-tier IDs are minted once per shard refresh; vardiff IDs per job
+// handout, since the difficulty is per-session state.
+//
+// Encoding the difficulty in the ID is what makes credit scale with the
+// difficulty actually served: SubmitShare verifies against and credits the
+// ID's own tier, and the engine separately guarantees the session was
+// really served that tier (a forged "-d1" is rejected before verification).
+func makeJobID(backend int, seq uint32, slot int, link bool, diff uint64) string {
+	var buf [48]byte
 	b := strconv.AppendUint(buf[:0], uint64(backend), 10)
 	b = append(b, '-')
 	b = strconv.AppendUint(b, uint64(seq), 10)
@@ -281,36 +384,51 @@ func makeJobID(backend int, seq uint32, slot int, link bool) string {
 	if link {
 		b = append(b, '-', 'L')
 	}
+	if diff > 0 {
+		b = append(b, '-', 'd')
+		b = strconv.AppendUint(b, diff, 10)
+	}
 	return string(b)
 }
 
-// parseJobID inverts makeJobID.
-func parseJobID(id string) (backend int, seq uint32, slot int, link bool, ok bool) {
+// parseJobID inverts makeJobID. diff is 0 for static-tier IDs; link and
+// diff are mutually exclusive (the link tier is never retargeted).
+func parseJobID(id string) (backend int, seq uint32, slot int, link bool, diff uint64, ok bool) {
 	if strings.HasSuffix(id, "-L") {
 		link = true
 		id = id[:len(id)-2]
 	}
+	// The numeric fields are pure digits, so "-d" can only be the vardiff
+	// suffix; a link ID carrying one was never minted.
+	if k := strings.LastIndex(id, "-d"); k >= 0 {
+		d, err := strconv.ParseUint(id[k+2:], 10, 64)
+		if err != nil || d == 0 || link {
+			return 0, 0, 0, false, 0, false
+		}
+		diff = d
+		id = id[:k]
+	}
 	i := strings.IndexByte(id, '-')
 	if i <= 0 {
-		return 0, 0, 0, false, false
+		return 0, 0, 0, false, 0, false
 	}
 	j := strings.LastIndexByte(id, '-')
 	if j <= i {
-		return 0, 0, 0, false, false
+		return 0, 0, 0, false, 0, false
 	}
 	b, err := strconv.Atoi(id[:i])
 	if err != nil || b < 0 {
-		return 0, 0, 0, false, false
+		return 0, 0, 0, false, 0, false
 	}
 	s64, err := strconv.ParseUint(id[i+1:j], 10, 32)
 	if err != nil {
-		return 0, 0, 0, false, false
+		return 0, 0, 0, false, 0, false
 	}
 	s, err := strconv.Atoi(id[j+1:])
 	if err != nil || s < 0 {
-		return 0, 0, 0, false, false
+		return 0, 0, 0, false, 0, false
 	}
-	return b, uint32(s64), s, link, true
+	return b, uint32(s64), s, link, diff, true
 }
 
 // refreshShardLocked rebuilds one backend's PoW inputs on a new tip. The
@@ -336,7 +454,7 @@ func (p *Pool) refreshShardLocked(sh *backendShard, backend int, tip [32]byte) {
 		sh.wire = append(sh.wire[:0], sh.blobs[s]...)
 		stratum.ObfuscateBlob(sh.wire)
 		sh.jobBlobHex[s] = stratum.EncodeBlob(sh.wire)
-		sh.jobIDs[s] = makeJobID(backend, sh.refreshSeq, s, false)
+		sh.jobIDs[s] = makeJobID(backend, sh.refreshSeq, s, false, 0)
 		sh.linkJobIDs[s] = "" // minted on the first link job of this refresh
 	}
 }
@@ -403,7 +521,7 @@ func (p *Pool) Job(endpoint, slot int, forLink bool) stratum.Job {
 	id := sh.jobIDs[s]
 	if forLink {
 		if sh.linkJobIDs[s] == "" {
-			sh.linkJobIDs[s] = makeJobID(b, sh.refreshSeq, s, true)
+			sh.linkJobIDs[s] = makeJobID(b, sh.refreshSeq, s, true, 0)
 		}
 		id = sh.linkJobIDs[s]
 		target = p.linkTargetHex
@@ -411,6 +529,28 @@ func (p *Pool) Job(endpoint, slot int, forLink bool) stratum.Job {
 	blobHex := sh.jobBlobHex[s]
 	sh.mu.Unlock()
 	return stratum.Job{JobID: id, Blob: blobHex, Target: target}
+}
+
+// JobAt hands out the current PoW input at an explicit vardiff difficulty
+// — the engine's retargeted-session job path. The ID and target are minted
+// per call (the tier is per-session state, not shard state); the blob is
+// the same cached wire blob Job serves.
+func (p *Pool) JobAt(endpoint, slot int, diff uint64) stratum.Job {
+	b := p.BackendOfEndpoint(endpoint)
+	sh := p.backends[b]
+	s := ((slot % p.cfg.TemplatesPerBackend) + p.cfg.TemplatesPerBackend) % p.cfg.TemplatesPerBackend
+	sh.mu.Lock()
+	if tip := p.cfg.Chain.TipID(); sh.tip != tip {
+		p.refreshShardLocked(sh, b, tip)
+	}
+	seq := sh.refreshSeq
+	blobHex := sh.jobBlobHex[s]
+	sh.mu.Unlock()
+	return stratum.Job{
+		JobID:  makeJobID(b, seq, s, false, diff),
+		Blob:   blobHex,
+		Target: stratum.EncodeTarget(cryptonight.DifficultyForTarget(diff)),
+	}
 }
 
 // shareDiffOf returns the hash credit for a job.
@@ -442,10 +582,34 @@ type ShareOutcome struct {
 // concurrent submitters verify in parallel.
 func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, linkID string) (ShareOutcome, error) {
 	var out ShareOutcome
-	b, seq, slot, link, ok := parseJobID(jobID)
+	b, seq, slot, link, vdiff, ok := parseJobID(jobID)
 	if !ok || b >= len(p.backends) || slot >= p.cfg.TemplatesPerBackend {
 		p.sharesBad.Add(1)
 		return out, ErrUnknownJob
+	}
+	// A vardiff-tier ID is only meaningful when vardiff is on and its
+	// difficulty inside the configured clamp; anything else was forged.
+	if vdiff != 0 && (!p.cfg.Vardiff.Enabled() || vdiff < p.cfg.Vardiff.MinDifficulty || vdiff > p.cfg.Vardiff.MaxDifficulty) {
+		p.sharesBad.Add(1)
+		return out, ErrUnknownJob
+	}
+	// Duplicate pre-check before the CryptoNight verify: a duplicate
+	// flood's cost must stay the memo scan, not the very CPU burn the
+	// flood is after. The authoritative check-and-insert runs again at
+	// credit time under the same stripe lock, closing the race of two
+	// concurrent submissions of one share.
+	var memoKey uint64
+	if p.cfg.ShareMemoSize > 0 {
+		memoKey = shareMemoKey(jobID, nonce)
+		st := p.stripeFor(token)
+		st.mu.Lock()
+		dup := st.memo[token].has(memoKey) // nil memo: has is false
+		st.mu.Unlock()
+		if dup {
+			p.sharesDup.Inc()
+			p.sharesBad.Add(1)
+			return out, ErrDuplicateShare
+		}
 	}
 	sh := p.backends[b]
 	tip := p.cfg.Chain.TipID()
@@ -455,32 +619,38 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 		blob []byte
 	)
 	sh.mu.RLock()
-	// The submitted ID must equal the ID this refresh actually minted for
+	// A static-tier ID must equal the ID this refresh actually minted for
 	// the slot (link IDs are minted lazily, so an un-issued link ID is the
 	// empty string and never matches) and the shard must still be on the
 	// chain tip. Together these reproduce what the per-job lookup table
 	// enforced: only issued, non-stale jobs resolve, and the difficulty
-	// tier is pinned at issue time, not chosen by the submitter.
+	// tier is pinned at issue time, not chosen by the submitter. A
+	// vardiff-tier ID is a pure function of (backend, generation, slot,
+	// diff), so currency is the generation + tip check; its difficulty
+	// legitimacy is the clamp above plus the engine's served-tier check
+	// (the session rejects tiers it was never served before verification).
 	minted := sh.jobIDs[slot]
 	if link {
 		minted = sh.linkJobIDs[slot]
 	}
 	curSeq := sh.refreshSeq
-	if minted == jobID && sh.tip == tip {
+	current := sh.tip == tip && seq == curSeq
+	if vdiff == 0 {
+		current = current && minted == jobID
+	}
+	if current {
 		tmpl = sh.templates[slot]
 		blob = append(bbuf[:0], sh.blobs[slot]...)
 	}
 	sh.mu.RUnlock()
 	if blob == nil {
 		p.sharesBad.Add(1)
-		// Was this identifier ever real? IDs are a pure function of
-		// (backend, generation, slot, tier), so a parseable ID from the
-		// current generation that matches the minted string (tip moved
-		// under it) or from an earlier generation (refresh outran it) is
-		// honest-but-stale; anything else — a future generation, or a
-		// current-generation string the shard never issued (e.g. an
-		// un-minted link tier) — was forged.
-		if minted == jobID || seq < curSeq {
+		// Was this identifier ever real? A current-generation ID that
+		// matches the minted string (tip moved under it) or any ID from an
+		// earlier generation is honest-but-stale; anything else — a future
+		// generation, or a current-generation string the shard never
+		// issued (e.g. an un-minted link tier) — was forged.
+		if minted == jobID || seq < curSeq || (vdiff != 0 && seq == curSeq) {
 			return out, ErrStaleJob
 		}
 		return out, ErrUnknownJob
@@ -492,21 +662,40 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 		p.sharesBad.Add(1)
 		return out, ErrBadShare
 	}
+	// Verify against — and credit — the tier the ID itself carries: that
+	// is what keeps TotalHashes an unbiased hashrate estimate across
+	// retargets (credit scales with the difficulty actually served).
 	diff := p.shareDiffOf(link)
+	if vdiff != 0 {
+		diff = vdiff
+	}
 	if !cryptonight.CheckCompactTarget(result, cryptonight.DifficultyForTarget(diff)) {
 		p.sharesBad.Add(1)
 		return out, ErrLowShare
 	}
-	p.sharesOK.Add(1)
 	out.Diff = diff
 
 	st := p.stripeFor(token)
 	st.mu.Lock()
+	if p.cfg.ShareMemoSize > 0 {
+		m := st.memo[token]
+		if m == nil {
+			m = &shareMemo{keys: make([]uint64, p.cfg.ShareMemoSize)}
+			st.memo[token] = m
+		}
+		if !m.insert(memoKey) {
+			st.mu.Unlock()
+			p.sharesDup.Inc()
+			p.sharesBad.Add(1)
+			return out, ErrDuplicateShare
+		}
+	}
 	acct := st.accountLocked(token)
 	acct.TotalHashes += diff
 	st.round[token] += diff
 	out.Credited = acct.TotalHashes
 	st.mu.Unlock()
+	p.sharesOK.Add(1)
 	if linkID != "" {
 		p.links.Credit(linkID, diff)
 	}
@@ -615,11 +804,13 @@ type Stats struct {
 	SharesBad   uint64
 	// SharesStale is the subset of SharesBad rejected only because the
 	// chain tip outran the job — sessions that hit it were re-jobbed, not
-	// errored.
-	SharesStale   uint64
-	PaidAtomic    uint64
-	KeptAtomic    uint64
-	TotalAccounts int
+	// errored. SharesDuplicate is the subset rejected by the per-account
+	// duplicate memo.
+	SharesStale     uint64
+	SharesDuplicate uint64
+	PaidAtomic      uint64
+	KeptAtomic      uint64
+	TotalAccounts   int
 }
 
 // StatsSnapshot returns current counters.
@@ -635,13 +826,14 @@ func (p *Pool) StatsSnapshot() Stats {
 		st.mu.Unlock()
 	}
 	return Stats{
-		BlocksFound:   blocks,
-		SharesOK:      p.sharesOK.Load(),
-		SharesBad:     p.sharesBad.Load(),
-		SharesStale:   p.sharesStale.Load(),
-		PaidAtomic:    p.paid.Load(),
-		KeptAtomic:    p.kept.Load(),
-		TotalAccounts: accounts,
+		BlocksFound:     blocks,
+		SharesOK:        p.sharesOK.Load(),
+		SharesBad:       p.sharesBad.Load(),
+		SharesStale:     p.sharesStale.Load(),
+		SharesDuplicate: p.sharesDup.Load(),
+		PaidAtomic:      p.paid.Load(),
+		KeptAtomic:      p.kept.Load(),
+		TotalAccounts:   accounts,
 	}
 }
 

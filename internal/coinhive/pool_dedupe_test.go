@@ -1,0 +1,71 @@
+package coinhive
+
+import "testing"
+
+// TestPoolDuplicateShareRejected pins the pool-layer dedupe beneath the
+// engine's session memo: the same (job, nonce) can never credit the same
+// account twice, whatever session or transport it arrives through.
+func TestPoolDuplicateShareRejected(t *testing.T) {
+	pool := newTestPool(t, 16)
+	j := pool.Job(0, 0, false)
+	nonce, sum := mineShare(t, pool, j)
+
+	if _, err := pool.SubmitShare("dup-site", j.JobID, nonce, sum, ""); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// The replay is rejected by name and credits nothing.
+	if _, err := pool.SubmitShare("dup-site", j.JobID, nonce, sum, ""); err != ErrDuplicateShare {
+		t.Fatalf("replay: err = %v, want ErrDuplicateShare", err)
+	}
+	st := pool.StatsSnapshot()
+	if st.SharesOK != 1 || st.SharesDuplicate != 1 {
+		t.Errorf("SharesOK=%d SharesDuplicate=%d, want 1,1", st.SharesOK, st.SharesDuplicate)
+	}
+	if a, ok := pool.AccountSnapshot("dup-site"); !ok || a.TotalHashes != 16 {
+		t.Errorf("account credit = %d, want 16 (one share at difficulty 16)", a.TotalHashes)
+	}
+
+	// The memo is per-account, mirroring the subject service's (absent)
+	// cross-account defense: another account may submit the same share.
+	if _, err := pool.SubmitShare("other-site", j.JobID, nonce, sum, ""); err != nil {
+		t.Errorf("cross-account share rejected: %v", err)
+	}
+
+	// A distinct nonce on the same job still credits the first account.
+	nonce2, sum2 := mineShare(t, pool, j, nonce+1)
+	if _, err := pool.SubmitShare("dup-site", j.JobID, nonce2, sum2, ""); err != nil {
+		t.Errorf("fresh nonce rejected: %v", err)
+	}
+	if a, _ := pool.AccountSnapshot("dup-site"); a.TotalHashes != 32 {
+		t.Errorf("credit after fresh nonce = %d, want 32", a.TotalHashes)
+	}
+}
+
+// TestPoolShareMemoRingEviction pins the memo's bounded-memory contract:
+// it remembers only the most recent ShareMemoSize shares per account, so
+// an ancient share replays successfully (the window is an abuse bound,
+// not a ledger) while anything inside the window stays rejected.
+func TestPoolShareMemoRingEviction(t *testing.T) {
+	pool := newTestPool(t, 16, func(c *PoolConfig) { c.ShareMemoSize = 4 })
+	j := pool.Job(0, 0, false)
+
+	shares := make([]struct {
+		nonce uint32
+		sum   [32]byte
+	}, 6)
+	next := uint32(0)
+	for i := range shares {
+		shares[i].nonce, shares[i].sum = mineShare(t, pool, j, next)
+		next = shares[i].nonce + 1
+		if _, err := pool.SubmitShare("ring-site", j.JobID, shares[i].nonce, shares[i].sum, ""); err != nil {
+			t.Fatalf("share %d: %v", i, err)
+		}
+	}
+	// Shares 2..5 occupy the 4-slot ring; share 0 has been evicted.
+	if _, err := pool.SubmitShare("ring-site", j.JobID, shares[5].nonce, shares[5].sum, ""); err != ErrDuplicateShare {
+		t.Errorf("in-window replay: err = %v, want ErrDuplicateShare", err)
+	}
+	if _, err := pool.SubmitShare("ring-site", j.JobID, shares[0].nonce, shares[0].sum, ""); err != nil {
+		t.Errorf("evicted share replay: err = %v, want credit (outside the memo window)", err)
+	}
+}

@@ -34,7 +34,9 @@ func premineShares(t *testing.T, pool *Pool, n int) []preminedShare {
 // data-race freedom; the counter assertions prove no share is lost or
 // double-counted under contention.
 func TestPoolConcurrentSubmitJobStats(t *testing.T) {
-	pool := newTestPool(t, 8)
+	// The duplicate memo is off: this test's whole point is replaying the
+	// same premined shares through the verify+credit path under -race.
+	pool := newTestPool(t, 8, noDupMemo)
 	shares := premineShares(t, pool, 16)
 
 	const (
@@ -138,7 +140,7 @@ func TestPoolConcurrentSubmitJobStats(t *testing.T) {
 // may be rejected, but the revenue conservation invariant must hold
 // exactly: every found block's reward splits into paid + kept.
 func TestPoolConcurrentSettlement(t *testing.T) {
-	pool := newTestPool(t, 8)
+	pool := newTestPool(t, 8, noDupMemo)
 	shares := premineShares(t, pool, 12)
 
 	var wg sync.WaitGroup

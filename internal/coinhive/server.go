@@ -3,6 +3,7 @@ package coinhive
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -237,15 +238,33 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 		return
 	}
 	defer s.conns.Untrack(conn)
-	s.eng.ServeSession(endpoint, &wsTransport{conn: conn})
+	s.eng.ServeSession(endpoint, &wsTransport{conn: conn, remote: remoteHost(conn.RemoteAddr())})
+}
+
+// remoteHost strips the port from a transport address, for per-host
+// abuse keying. Empty when the address is unavailable or unparseable.
+func remoteHost(addr net.Addr) string {
+	if addr == nil {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return addr.String()
+	}
+	return host
 }
 
 // wsTransport is the ws+coinhive dialect codec: JSON envelopes over text
 // frames, strictly client-clocked. It holds no protocol state — every
 // rule lives in the engine.
 type wsTransport struct {
-	conn *ws.Conn
+	conn   *ws.Conn
+	remote string
 }
+
+// RemoteHost exposes the peer host for the engine's optional per-host
+// abuse keying.
+func (t *wsTransport) RemoteHost() string { return t.remote }
 
 // ReadCommand parses the next text frame. Wire-level decode failures
 // (garbage envelope, bad hex) become Commands carrying this dialect's
@@ -301,6 +320,12 @@ func (t *wsTransport) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 			msgType, params = stratum.TypeCaptchaVerified, ev.Captcha
 		case EvError:
 			msgType, params = stratum.TypeError, stratum.Error{Error: ev.Err}
+			if ev.Banned {
+				// A ban gets its own message type in this dialect, so the
+				// miner script can stop reconnecting instead of retrying a
+				// generic error.
+				msgType = stratum.TypeBanned
+			}
 		default:
 			continue // EvKeepalive: not part of this dialect
 		}

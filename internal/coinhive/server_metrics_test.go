@@ -19,7 +19,9 @@ import (
 )
 
 // startService boots the full HTTP/WS front over a low-difficulty pool.
-func startService(t *testing.T, shareDiff uint64) (*httptest.Server, *coinhive.Server, *coinhive.Pool) {
+// Optional mutators adjust the PoolConfig before boot (vardiff, banscore,
+// memo depth) so defended variants share the identical seeding.
+func startService(t *testing.T, shareDiff uint64, mut ...func(*coinhive.PoolConfig)) (*httptest.Server, *coinhive.Server, *coinhive.Pool) {
 	t.Helper()
 	params := blockchain.SimParams()
 	params.MinDifficulty = 1 << 40 // shares never win blocks in these tests
@@ -27,12 +29,16 @@ func startService(t *testing.T, shareDiff uint64) (*httptest.Server, *coinhive.S
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool, err := coinhive.NewPool(coinhive.PoolConfig{
+	cfg := coinhive.PoolConfig{
 		Chain:           chain,
 		Wallet:          blockchain.AddressFromString("coinhive"),
 		Clock:           simclock.New(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)),
 		ShareDifficulty: shareDiff,
-	})
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	pool, err := coinhive.NewPool(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -328,6 +328,10 @@ func (c *stratumConn) ReadCommand() (Command, error) {
 // push, so the engine omits the routine post-submit job.
 func (c *stratumConn) ServerClocked() bool { return true }
 
+// RemoteHost exposes the peer host for the engine's optional per-host
+// abuse keying.
+func (c *stratumConn) RemoteHost() string { return remoteHost(c.nc.RemoteAddr()) }
+
 // Deliver correlates the engine's events back into one response for the
 // request plus any notifications. The engine knows this dialect is
 // server-clocked (ServerClocked), so the only job event that can follow
@@ -341,10 +345,20 @@ func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 	c.wbuf = c.wbuf[:0]
 	var err error
 
-	if cmd.Kind == CmdKeepalive && len(evs) == 1 && evs[0].Kind == EvKeepalive {
+	if cmd.Kind == CmdKeepalive && len(evs) >= 1 && evs[0].Kind == EvKeepalive {
 		c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.KeepaliveResult{Status: stratum.StatusKeepalive})
 		if err != nil {
 			return err
+		}
+		// An idle-downstep retarget rides the keepalive that triggered it:
+		// the ack first, then the new job as a push.
+		for _, ev := range evs[1:] {
+			if ev.Kind == EvJob {
+				c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeJob, ev.Job)
+				if err != nil {
+					return err
+				}
+			}
 		}
 		return c.flushLocked()
 	}
@@ -389,9 +403,10 @@ func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 		case EvCaptchaVerified:
 			c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeCaptchaVerified, ev.Captcha)
 		case EvJob:
-			if ev.Stale {
-				// The error response above told the miner its job died; this
-				// hands it the replacement without waiting for the next tip.
+			if ev.Stale || ev.Retarget {
+				// The error response above told the miner its job died (stale),
+				// or a retarget changed its difficulty mid-session; either way
+				// the replacement is pushed without waiting for the next tip.
 				c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeJob, ev.Job)
 			}
 		}
@@ -411,9 +426,13 @@ func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 	return nil
 }
 
-// errCode maps an engine error back to this dialect's RPC code space.
+// errCode maps an engine error back to this dialect's RPC code space. An
+// event carrying an explicit code (the defense layer's named rejections)
+// wins over the command-kind derivation.
 func (c *stratumConn) errCode(cmd Command, ev Event) int {
 	switch {
+	case ev.Code != 0:
+		return ev.Code
 	case cmd.Kind == CmdGarbage:
 		return stratum.RPCParseError
 	case cmd.Kind == CmdUnknown:

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/coinhive"
 	"repro/internal/session"
 	"repro/internal/stratum"
 )
@@ -286,5 +287,89 @@ func TestStratumTCPStaleSubmitNamedAndRejobbed(t *testing.T) {
 	}
 	if got := pool.StatsSnapshot().SharesStale; got != 1 {
 		t.Errorf("SharesStale = %d, want 1", got)
+	}
+}
+
+// TestStratumTCPStaleFloodBoundedAndBanned pins the defended dialect's
+// bounded stale retry loop: the first StaleFloodAfter consecutive stales
+// are named and re-jobbed as usual, everything past the bound earns
+// {-4, "too many stale"} with NO replacement job, and a flooder that
+// keeps going crosses the banscore threshold — {-5, "banned"}, the
+// connection dropped, and the identity's next login turned away.
+func TestStratumTCPStaleFloodBoundedAndBanned(t *testing.T) {
+	defended := func(c *coinhive.PoolConfig) {
+		c.Ban = coinhive.BanConfig{
+			BanThreshold:    100,
+			StaleFloodAfter: 2,
+			StaleFloodScore: 25,
+			BanDuration:     time.Minute,
+		}
+	}
+	_, handler, pool := startService(t, 4, defended)
+	_, addr := startStratum(t, handler)
+
+	c := dialRaw(t, addr)
+	res := c.login("flood-tcp-key")
+	decoded, err := session.DecodeJob(res.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, sum := grindShare(t, pool, decoded)
+	if _, err := pool.ProduceWinningBlock(1_525_100_000, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if push, err := c.readEnvelope(); err != nil || push.Method != stratum.TypeJob {
+		t.Fatalf("expected tip-change push, got %+v (%v)", push, err)
+	}
+
+	// The stale share is replayed verbatim: the duplicate memos only
+	// remember *accepted* shares, so every replay re-enters the stale
+	// path — exactly what a retry-loop client does after a tip change.
+	resubmit := func(id int) {
+		c.sendLine(fmt.Sprintf(`{"id":%d,"jsonrpc":"2.0","method":"submit","params":{"id":%q,"job_id":%q,"nonce":%q,"result":%q}}`,
+			id, res.ID, res.Job.JobID, stratum.EncodeNonce(nonce), stratum.EncodeBlob(sum[:])))
+	}
+
+	// Stales 1..StaleFloodAfter: named stale, replacement job behind it.
+	for i := 0; i < 2; i++ {
+		resubmit(10 + i)
+		c.mustReadError(stratum.RPCStaleJob)
+		if rejob, err := c.readEnvelope(); err != nil || rejob.Method != stratum.TypeJob {
+			t.Fatalf("stale %d: expected re-job, got %+v (%v)", i+1, rejob, err)
+		}
+	}
+	// Past the bound: the named flood error, and no re-job — the next
+	// read after each error must be the *next* error, never a job.
+	for i := 0; i < 3; i++ {
+		resubmit(20 + i)
+		env := c.mustReadError(stratum.RPCTooManyStale)
+		if env.Error.Message != stratum.TooManyStaleMessage {
+			t.Errorf("flood %d: message = %q, want %q", i+1, env.Error.Message, stratum.TooManyStaleMessage)
+		}
+	}
+	// Each flood offense scored 25: the fourth crosses the threshold.
+	resubmit(30)
+	env := c.mustReadError(stratum.RPCBanned)
+	if env.Error.Message != stratum.BannedMessage {
+		t.Errorf("ban message = %q, want %q", env.Error.Message, stratum.BannedMessage)
+	}
+	c.mustBeClosed()
+
+	// All six replays were honest-shaped stale work as far as the share
+	// accounting goes; the defense layer is what cut the session off.
+	if st := pool.StatsSnapshot(); st.SharesStale != 6 || st.SharesOK != 0 {
+		t.Errorf("SharesStale=%d SharesOK=%d, want 6,0", st.SharesStale, st.SharesOK)
+	}
+
+	// The ban is keyed on the identity, not the connection: a fresh dial
+	// with the same site key is turned away at login.
+	c2 := dialRaw(t, addr)
+	c2.sendLine(`{"id":1,"jsonrpc":"2.0","method":"login","params":{"login":"flood-tcp-key"}}`)
+	c2.mustReadError(stratum.RPCBanned)
+	c2.mustBeClosed()
+
+	score, until := handler.Engine().AbuseState("flood-tcp-key")
+	if score != 0 || until.IsZero() {
+		t.Errorf("AbuseState = (%v, %v), want score consumed and a ban deadline", score, until)
 	}
 }

@@ -29,11 +29,77 @@ type InprocTarget struct {
 	tipSeq  uint32
 }
 
+// InprocOptions extends StartInproc for targets that need the vardiff /
+// banscore defense layer (the hostile scenarios run against one).
+type InprocOptions struct {
+	ShareDifficulty uint64
+	Registry        *metrics.Registry
+	Vardiff         coinhive.VardiffConfig
+	Ban             coinhive.BanConfig
+}
+
+// DefendedInprocOptions is the canonical defended-target tuning the
+// hostile scenarios (and the loadd hostile gate) run against:
+//
+//   - vardiff steers every ordinary session toward 12 accepted shares
+//     per minute inside [1, 4096]. The tuning is capacity-driven: the
+//     swarm's grind demand is honest sessions × SimHashrate hash
+//     attempts per second regardless of difficulty (shares/s × diff is
+//     invariant), each attempt costs ~100µs, and a 1-CPU CI box runs
+//     the clients AND the service — at the catalogue's 1,000-session
+//     scale only a couple of H/s per session fits, or the retargeter
+//     measures scheduling backlog instead of miner cadence and hunts.
+//     The starting difficulty is raised to at least 5 so an honest
+//     session (SimHashrate 2) opens at 24/min — exactly 2× the goal,
+//     outside the ±30% hysteresis band — and converges to the
+//     equilibrium difficulty of 10 in one full-window retarget;
+//   - one offense class scores 25 against a ban threshold of 100, so
+//     four rejected abuses ban the identity (malformed frames score the
+//     default 5: the conformance scenario's worst case stays well clear);
+//   - the stale retry loop is cut after 4 consecutive stales;
+//   - logins refill at 2/s (burst 6) so a reconnect hammer on one shared
+//     key converts its own rejections into a ban within seconds, while
+//     honest churn (a handful of logins per session) never trips it.
+func DefendedInprocOptions(shareDiff uint64, reg *metrics.Registry) InprocOptions {
+	if shareDiff < 5 {
+		// Below 5 the pre-retarget burst (SimHashrate/diff shares per
+		// second per session) outruns the box at catalogue scale before
+		// the first window closes, so the retargeter measures scheduling
+		// delay instead of miner cadence.
+		shareDiff = 5
+	}
+	return InprocOptions{
+		ShareDifficulty: shareDiff,
+		Registry:        reg,
+		Vardiff: coinhive.VardiffConfig{
+			TargetSharesPerMin: 12,
+			MinDifficulty:      1,
+			MaxDifficulty:      4096,
+		},
+		Ban: coinhive.BanConfig{
+			BanThreshold:    100,
+			BanDuration:     time.Minute,
+			DuplicateScore:  25,
+			StaleFloodScore: 25,
+			ForgedDiffScore: 25,
+			RateLimitScore:  25,
+			StaleFloodAfter: 4,
+			LoginRatePerSec: 2,
+			LoginBurst:      6,
+		},
+	}
+}
+
 // StartInproc boots a service whose share difficulty is tuned for load
 // generation (a low difficulty keeps the oracle's one-time pre-grind to
 // a handful of hashes per PoW input) and whose network difficulty floor
 // is high enough that no replayed share ever wins a block mid-run.
 func StartInproc(shareDiff uint64, reg *metrics.Registry) (*InprocTarget, error) {
+	return StartInprocOpts(InprocOptions{ShareDifficulty: shareDiff, Registry: reg})
+}
+
+// StartInprocOpts is StartInproc with the defense layer configurable.
+func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 	params := blockchain.SimParams()
 	params.MinDifficulty = 1 << 40
 	chain, err := blockchain.NewChain(params, uint64(time.Now().Unix()),
@@ -45,8 +111,10 @@ func StartInproc(shareDiff uint64, reg *metrics.Registry) (*InprocTarget, error)
 		Chain:           chain,
 		Wallet:          blockchain.AddressFromString("loadgen-wallet"),
 		Clock:           simclock.Real(),
-		ShareDifficulty: shareDiff,
-		Metrics:         reg,
+		ShareDifficulty: opts.ShareDifficulty,
+		Metrics:         opts.Registry,
+		Vardiff:         opts.Vardiff,
+		Ban:             opts.Ban,
 	})
 	if err != nil {
 		return nil, err

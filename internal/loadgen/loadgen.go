@@ -127,6 +127,35 @@ type Result struct {
 	JobPushes    uint64 `json:"job_pushes,omitempty"`
 	PushP99Ns    int64  `json:"push_p99_ns,omitempty"`
 
+	// Hostile-scenario outcomes, as observed on the client side of the
+	// wire. DuplicateCredited is the zero-duplicate-credit invariant: any
+	// non-zero value means the pool paid twice for one share (it is also
+	// a counted protocol error).
+	SessionsBanned     uint64 `json:"sessions_banned,omitempty"`
+	RejectedDuplicate  uint64 `json:"rejected_duplicate,omitempty"`
+	RejectedRateLimit  uint64 `json:"rejected_rate_limited,omitempty"`
+	RejectedStaleFlood uint64 `json:"rejected_stale_flood,omitempty"`
+	DuplicateCredited  uint64 `json:"duplicate_credited,omitempty"`
+
+	// Vardiff convergence, over honest sessions of a SimHashrate-paced
+	// scenario: the mean accepted-share cadence measured at each
+	// session's final difficulty tier, the modal final tier, and how many
+	// honest sessions had a measurable (≥2-accept) cadence.
+	HonestSessions      int     `json:"honest_sessions,omitempty"`
+	HonestCadencePerMin float64 `json:"honest_cadence_per_min,omitempty"`
+	ConvergedDifficulty uint64  `json:"converged_difficulty,omitempty"`
+
+	// Server-side defense counters for this scenario (filled in by the
+	// driver from the defended target's registry, like JobPushes).
+	SrvBans         uint64 `json:"srv_bans,omitempty"`
+	SrvRetargets    uint64 `json:"srv_retargets,omitempty"`
+	SrvSharesForged uint64 `json:"srv_shares_forged,omitempty"`
+	SrvStaleFloods  uint64 `json:"srv_stale_floods,omitempty"`
+	SrvDupShares    uint64 `json:"srv_shares_duplicate,omitempty"`
+	SrvRateLimited  uint64 `json:"srv_rate_limited,omitempty"`
+	SrvLoginsBanned uint64 `json:"srv_logins_banned,omitempty"`
+	PoolDupShares   uint64 `json:"pool_shares_duplicate,omitempty"`
+
 	// ErrorSamples holds the first few protocol-error descriptions, for
 	// diagnosis when the zero-error assertion fails.
 	ErrorSamples []string `json:"error_samples,omitempty"`
@@ -147,6 +176,42 @@ type minerSession struct {
 	dialAttempts  int
 	connectedOnce bool
 	dead          bool
+
+	// attack is the session's hostile behaviour (Attack* constants; empty
+	// = honest). bannedCounted dedupes the per-session ban count.
+	attack        string
+	bannedCounted bool
+
+	// seqByJob advances the oracle solution sequence per PoW input, so an
+	// honest session never resubmits a (job, nonce) the pool's duplicate
+	// memo has seen. It survives reconnects — resubmitting after churn is
+	// exactly what the account-level memo would catch.
+	seqByJob map[string]int
+
+	// lastOK* remember the most recent credited share (validTurn fills
+	// them); the duplicate submitter replays exactly this triple.
+	lastOKJob   string
+	lastOKNonce uint32
+	lastOKSum   [32]byte
+
+	// Duplicate-submit replay state.
+	dupHave  bool
+	dupJobID string
+	dupNonce uint32
+	dupSum   [32]byte
+
+	// Stale-flood state: the tip-outrun job held for resubmission and a
+	// nonce counter (also reused by the diff gamer for distinct nonces).
+	heldJob session.Job
+	heldSet bool
+	flNonce uint32
+
+	// Cadence measurement: credited shares at the current difficulty tier
+	// (reset on every tier change — see noteAccept).
+	cadDiff uint64
+	cadN    int
+	cadT0   time.Time
+	cadLast time.Time
 }
 
 // phaseGate counts sessions down to an all-parked barrier.
@@ -185,6 +250,14 @@ type Swarm struct {
 	acceptNs   *metrics.Histogram
 	connectNs  *metrics.Histogram
 
+	// Hostile-scenario instruments: containment outcomes as observed from
+	// the client side of the wire.
+	banned         *metrics.Counter // sessions that received the named ban
+	dupRejected    *metrics.Counter // duplicate share rejections
+	dupCredited    *metrics.Counter // duplicates the pool CREDITED — must stay zero
+	rateLimited    *metrics.Counter // rate-limit rejections (login or submit)
+	staleFloodErrs *metrics.Counter // too-many-stale errors
+
 	errMu      sync.Mutex
 	errSamples []string
 }
@@ -218,6 +291,12 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 		refreshes:  reg.Counter("load.tip_refreshes"),
 		acceptNs:   reg.Histogram("load.accept_ns"),
 		connectNs:  reg.Histogram("load.connect_ns"),
+
+		banned:         reg.Counter("load.sessions_banned"),
+		dupRejected:    reg.Counter("load.rejected_duplicate"),
+		dupCredited:    reg.Counter("load.duplicate_credited"),
+		rateLimited:    reg.Counter("load.rejected_rate_limited"),
+		staleFloodErrs: reg.Counter("load.rejected_stale_flood"),
 	}, nil
 }
 
@@ -265,10 +344,21 @@ func (sw *Swarm) Run() (Result, error) {
 	wsIdx := 0 // ws sessions get their own counter so they round-robin
 	// every /proxyN endpoint even when mixed gives half the indices to TCP
 	for i := range sessions {
+		// Site keys are namespaced by scenario: bans on the defended
+		// target outlive a run (that is the point of a ban), so a
+		// catalogue driving several hostile scenarios at one service
+		// must not have a later scenario inherit an earlier one's bans.
 		s := &minerSession{
 			idx:       i,
-			siteKey:   fmt.Sprintf("swarm-%04d", i),
+			siteKey:   fmt.Sprintf("swarm-%s-%04d", sc.Name, i),
 			turnsLeft: sc.Turns,
+			attack:    attackKindFor(sc, i),
+			seqByJob:  map[string]int{},
+		}
+		if s.attack == AttackHammer {
+			// Every hammer session shares one identity: the login bucket is
+			// per site key, and draining it together IS the attack.
+			s.siteKey = "swarm-" + sc.Name + "-hammer-shared"
 		}
 		// mixed alternates dialects session by session, so both hit one
 		// pool (and one accounting plane) in the same run.
@@ -288,7 +378,7 @@ func (sw *Swarm) Run() (Result, error) {
 		sw.later(s, time.Duration(i)*sc.Ramp/time.Duration(len(sessions)))
 	}
 	if err := sw.await(deadline, "ramp phase"); err != nil {
-		return sw.result(start), err
+		return sw.result(start, sessions), err
 	}
 
 	if sc.Storm {
@@ -314,11 +404,11 @@ func (sw *Swarm) Run() (Result, error) {
 			}
 		}
 		if err := sw.await(deadline, "storm phase"); err != nil {
-			return sw.result(start), err
+			return sw.result(start, sessions), err
 		}
 	}
 
-	res := sw.result(start)
+	res := sw.result(start, sessions)
 
 	// Drain: proper close handshake on every surviving session.
 	for _, s := range sessions {
@@ -341,7 +431,7 @@ func (sw *Swarm) await(deadline <-chan time.Time, phase string) error {
 	}
 }
 
-func (sw *Swarm) result(start time.Time) Result {
+func (sw *Swarm) result(start time.Time, sessions []*minerSession) Result {
 	acc := sw.acceptNs.Snapshot()
 	conn := sw.connectNs.Snapshot()
 	dur := time.Since(start)
@@ -367,6 +457,44 @@ func (sw *Swarm) result(start time.Time) Result {
 	}
 	if dur > 0 {
 		r.SharesPerSec = float64(r.SharesOK) / dur.Seconds()
+	}
+	r.SessionsBanned = sw.banned.Load()
+	r.RejectedDuplicate = sw.dupRejected.Load()
+	r.RejectedRateLimit = sw.rateLimited.Load()
+	r.RejectedStaleFlood = sw.staleFloodErrs.Load()
+	r.DuplicateCredited = sw.dupCredited.Load()
+	if sw.cfg.Scenario.Attack != AttackNone {
+		// Vardiff convergence over the honest population: each session's
+		// cadence is measured at its final difficulty tier (noteAccept
+		// resets the window on every tier change), so the mean is the
+		// steady-state shares/min vardiff converged the swarm to. The modal
+		// final tier is reported alongside so the acceptance check can pin
+		// both the cadence and the difficulty it was achieved at.
+		var cadSum float64
+		var cadN int
+		tiers := map[uint64]int{}
+		for _, s := range sessions {
+			if s.attack != AttackNone {
+				continue
+			}
+			r.HonestSessions++
+			if s.cadN >= 2 {
+				if span := s.cadLast.Sub(s.cadT0); span > 0 {
+					cadSum += float64(s.cadN-1) / span.Minutes()
+					cadN++
+					tiers[s.cadDiff]++
+				}
+			}
+		}
+		if cadN > 0 {
+			r.HonestCadencePerMin = cadSum / float64(cadN)
+		}
+		best := 0
+		for tier, n := range tiers {
+			if n > best {
+				best, r.ConvergedDifficulty = n, tier
+			}
+		}
 	}
 	sw.errMu.Lock()
 	r.ErrorSamples = append([]string(nil), sw.errSamples...)
@@ -422,8 +550,20 @@ func (sw *Swarm) step(s *minerSession) {
 	if s.dead {
 		return
 	}
+	if s.attack == AttackHammer {
+		// The hammer never keeps a connection; it has its own cycle.
+		sw.hammerStep(s)
+		return
+	}
 	if s.sess == nil {
 		if err := sw.connect(s); err != nil {
+			if errors.Is(err, session.ErrBanned) {
+				// The pool refused the login by name: the identity is
+				// banned. For an attacker this is the expected terminal
+				// state, not a connectivity failure.
+				sw.contain(s)
+				return
+			}
 			s.dialAttempts++
 			if s.dialAttempts >= 3 {
 				_ = sw.protoError(s, "connect failed permanently", err)
@@ -443,10 +583,21 @@ func (sw *Swarm) step(s *minerSession) {
 	}
 
 	var err error
-	if sw.cfg.Scenario.Malformed && s.turnsLeft%2 == 0 {
+	switch {
+	case sw.cfg.Scenario.Malformed && s.turnsLeft%2 == 0:
 		err = sw.malformedTurn(s)
-	} else {
+	case s.attack == AttackDup:
+		err = sw.dupTurn(s)
+	case s.attack == AttackStale:
+		err = sw.staleTurn(s)
+	case s.attack == AttackDiff:
+		err = sw.diffTurn(s)
+	default:
 		err = sw.validTurn(s)
+	}
+	if err == errContained {
+		sw.contain(s)
+		return
 	}
 	if err != nil {
 		// The turn already counted a protocol error — except stale
@@ -470,7 +621,7 @@ func (sw *Swarm) step(s *minerSession) {
 			sw.closeConn(s)
 		}
 	}
-	sw.later(s, sw.cfg.Scenario.Think)
+	sw.later(s, sw.thinkFor(s))
 }
 
 // parkKeepalive keeps a parked server-clocked session alive through a
@@ -560,12 +711,17 @@ func (sw *Swarm) dropConn(s *minerSession) {
 // by a replacement job notification.
 func (sw *Swarm) validTurn(s *minerSession) error {
 	for attempt := 0; attempt < 3; attempt++ {
-		nonce, sum, err := sw.oracle.Solve(s.job)
+		// Solutions are sequence-indexed per PoW input: every credited
+		// share advances the session's cursor, so honest replays never
+		// collide with the pool's per-account duplicate memo.
+		inputKey := s.job.WireBlob + "|" + s.job.WireTarget
+		nonce, sum, err := sw.oracle.SolveSeq(s.job, s.seqByJob[inputKey])
 		if err != nil {
 			return sw.protoError(s, "oracle", err)
 		}
+		submittedID, submittedDiff := s.job.ID, jobDiff(s.job)
 		t0 := time.Now()
-		if err := s.sess.Submit(s.job.ID, nonce, sum); err != nil {
+		if err := s.sess.Submit(submittedID, nonce, sum); err != nil {
 			return sw.protoError(s, "submit write", err)
 		}
 		accepted := false
@@ -580,6 +736,9 @@ func (sw *Swarm) validTurn(s *minerSession) error {
 			case stratum.TypeHashAccepted:
 				sw.acceptNs.Observe(time.Since(t0))
 				sw.sharesOK.Inc()
+				s.seqByJob[inputKey]++
+				s.lastOKJob, s.lastOKNonce, s.lastOKSum = submittedID, nonce, sum
+				sw.noteAccept(s, submittedDiff)
 				accepted = true
 				if s.tcp {
 					return nil // server-clocked: no trailing job
@@ -603,6 +762,8 @@ func (sw *Swarm) validTurn(s *minerSession) error {
 					continue
 				}
 				return sw.protoError(s, "valid share rejected", fmt.Errorf("%s", e.Error))
+			case stratum.TypeBanned:
+				return errContained
 			case stratum.MethodKeepalive:
 				// Ack for a parked-phase keepalive, drained on this turn.
 			default:

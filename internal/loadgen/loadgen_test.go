@@ -67,15 +67,18 @@ func TestSteadyScenario(t *testing.T) {
 	if res.Reconnects != 0 {
 		t.Errorf("steady scenario reconnected %d times", res.Reconnects)
 	}
-	// The oracle is the point: every session replays shares, so the
-	// grind count is bounded by the distinct PoW inputs the pool can
-	// hand out — at most one per (backend, slot) pair a session landed
-	// on, never one per share.
-	if res.OracleGrinds == 0 || res.OracleGrinds > uint64(n) {
-		t.Errorf("OracleGrinds = %d, want within [1, %d]", res.OracleGrinds, n)
+	// The oracle is the point: solutions are shared across every session
+	// that lands on the same PoW input. Since the duplicate-share memos
+	// reject replayed nonces, each session needs a *distinct* solution
+	// per share (sequence-indexed in the oracle), so the grind count is
+	// bounded by shares-per-session × distinct inputs — and can never
+	// exceed the accepted shares themselves (one grind per share worst
+	// case, fewer whenever sessions overlap on an input).
+	if res.OracleGrinds == 0 || res.OracleGrinds > uint64(n*3) {
+		t.Errorf("OracleGrinds = %d, want within [1, %d]", res.OracleGrinds, n*3)
 	}
-	if res.OracleGrinds >= res.SharesOK {
-		t.Errorf("OracleGrinds = %d not amortised over %d shares", res.OracleGrinds, res.SharesOK)
+	if res.OracleGrinds > res.SharesOK {
+		t.Errorf("OracleGrinds = %d exceeds %d accepted shares — the oracle re-ground a replay", res.OracleGrinds, res.SharesOK)
 	}
 	if res.AcceptP99Ns <= 0 || res.AcceptMaxNs < res.AcceptP99Ns {
 		t.Errorf("latency snapshot inconsistent: p99=%d max=%d", res.AcceptP99Ns, res.AcceptMaxNs)

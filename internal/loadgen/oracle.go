@@ -9,15 +9,23 @@ import (
 	"repro/internal/session"
 )
 
-// Oracle pre-grinds one valid nonce per distinct PoW input and replays
-// it to every session holding that input. This is the trick that makes
+// Oracle pre-grinds valid nonces per distinct PoW input and replays them
+// to every session holding that input. This is the trick that makes
 // thousand-session swarms possible on one CPU: the pool hands out at
 // most backends×slots distinct blobs per chain tip (the paper's "at most
 // 128 different PoW inputs per block"), so the swarm pays the
-// CryptoNight cost once per blob — every session after the first pays
-// only protocol cost. The pool does not (and cannot, in this dialect)
-// dedupe nonces across sessions, exactly like the real service, which
-// had no defense against replayed shares within a job's lifetime.
+// CryptoNight cost once per (input, sequence) — every session after the
+// first pays only protocol cost.
+//
+// Solutions are sequence-indexed: SolveSeq(job, k) is the k-th distinct
+// nonce for the input, ground lazily by continuing the nonce search past
+// the previous solution. Honest sessions advance their own per-input
+// sequence on every credited share, so no session ever resubmits a
+// (job, nonce) pair the pool's duplicate memo has already seen — replaying
+// one nonce is now exclusively the dup-submit attacker's job. Sessions on
+// different accounts may share a sequence slot: the pool's memo is
+// per-account, exactly like the real service's (absent) cross-account
+// defense.
 type Oracle struct {
 	variant   cryptonight.Variant
 	maxHashes int
@@ -27,17 +35,21 @@ type Oracle struct {
 	grinds  atomic.Uint64
 }
 
-type oracleEntry struct {
-	once  sync.Once
+type oracleSolution struct {
 	nonce uint32
 	sum   [32]byte
-	err   error
+}
+
+type oracleEntry struct {
+	mu   sync.Mutex
+	sols []oracleSolution
+	next uint32 // nonce the next grind resumes from
+	err  error
 }
 
 // NewOracle builds an oracle for the given PoW profile. maxHashes bounds
-// the grind per distinct input (0 means 1<<16); at the low share
-// difficulties a load target runs with, the expected cost is a handful
-// of hashes.
+// the grind per solution (0 means 1<<16); at the low share difficulties a
+// load target runs with, the expected cost is a handful of hashes.
 func NewOracle(v cryptonight.Variant, maxHashes int) *Oracle {
 	if maxHashes <= 0 {
 		maxHashes = 1 << 16
@@ -45,10 +57,19 @@ func NewOracle(v cryptonight.Variant, maxHashes int) *Oracle {
 	return &Oracle{variant: v, maxHashes: maxHashes, entries: map[string]*oracleEntry{}}
 }
 
-// Solve returns a nonce/result pair meeting the job's share target,
-// grinding it on first sight of the input and replaying it afterwards.
-// Concurrent callers for the same input block on one grind, not N.
+// Solve returns the input's first solution — the replay every session
+// used before sequences existed, kept for callers that want exactly one.
 func (o *Oracle) Solve(job session.Job) (uint32, [32]byte, error) {
+	return o.SolveSeq(job, 0)
+}
+
+// SolveSeq returns the seq-th distinct nonce/result pair meeting the
+// job's share target, grinding forward lazily on first demand. The grind
+// itself runs outside the entry lock (CryptoNight under a mutex would
+// serialise every worker behind one hash); two workers racing to extend
+// the same entry may duplicate a grind, and the loser's work is simply
+// discarded — rare, bounded, and cheaper than holding the lock.
+func (o *Oracle) SolveSeq(job session.Job, seq int) (uint32, [32]byte, error) {
 	// The wire strings identify the PoW input independent of the
 	// refresh-scoped job ID, so re-issued jobs for the same template hit
 	// the cache.
@@ -60,24 +81,51 @@ func (o *Oracle) Solve(job session.Job) (uint32, [32]byte, error) {
 		o.entries[key] = e
 	}
 	o.mu.Unlock()
-	e.once.Do(func() {
-		h, err := cryptonight.GetHasher(o.variant)
-		if err != nil {
-			e.err = err
-			return
+
+	for {
+		e.mu.Lock()
+		if e.err != nil {
+			err := e.err
+			e.mu.Unlock()
+			return 0, [32]byte{}, err
 		}
-		defer cryptonight.PutHasher(h)
-		nonce, sum, _, found := h.Grind(job.Blob, job.NonceOffset, job.Target, 0, o.maxHashes)
-		if !found {
-			e.err = fmt.Errorf("loadgen: no share within %d hashes for target %08x (share difficulty too high for load generation)",
-				o.maxHashes, job.Target)
-			return
+		if seq < len(e.sols) {
+			s := e.sols[seq]
+			e.mu.Unlock()
+			return s.nonce, s.sum, nil
 		}
-		e.nonce, e.sum = nonce, sum
-		o.grinds.Add(1)
-	})
-	return e.nonce, e.sum, e.err
+		start := e.next
+		e.mu.Unlock()
+
+		nonce, sum, err := o.grind(job, start)
+
+		e.mu.Lock()
+		if start == e.next { // we extend; a racing loser re-reads instead
+			if err != nil {
+				e.err = err
+			} else {
+				e.sols = append(e.sols, oracleSolution{nonce: nonce, sum: sum})
+				e.next = nonce + 1
+				o.grinds.Add(1)
+			}
+		}
+		e.mu.Unlock()
+	}
 }
 
-// Grinds reports how many distinct PoW inputs were actually ground.
+func (o *Oracle) grind(job session.Job, start uint32) (uint32, [32]byte, error) {
+	h, err := cryptonight.GetHasher(o.variant)
+	if err != nil {
+		return 0, [32]byte{}, err
+	}
+	defer cryptonight.PutHasher(h)
+	nonce, sum, _, found := h.Grind(job.Blob, job.NonceOffset, job.Target, start, o.maxHashes)
+	if !found {
+		return 0, [32]byte{}, fmt.Errorf("loadgen: no share within %d hashes from nonce %d for target %08x (share difficulty too high for load generation)",
+			o.maxHashes, start, job.Target)
+	}
+	return nonce, sum, nil
+}
+
+// Grinds reports how many solutions were actually ground (cache misses).
 func (o *Oracle) Grinds() uint64 { return o.grinds.Load() }

@@ -19,6 +19,31 @@ const (
 	TransportMixed = "mixed"
 )
 
+// Attack selectors for Scenario.Attack. Each names one hostile miner
+// behaviour the defended pool must contain; AttackMix blends them into a
+// mostly-honest population.
+const (
+	// AttackNone is the honest zero value.
+	AttackNone = ""
+	// AttackDup earns one legitimate credit, then replays the identical
+	// (job, nonce) share forever — the CPU-burn/free-credit attack the
+	// duplicate memos exist for.
+	AttackDup = "dup-submit"
+	// AttackStale keeps resubmitting a job the chain tip has outrun,
+	// riding the stale re-job loop — bounded by the too-many-stale error.
+	AttackStale = "stale-flood"
+	// AttackDiff submits shares under forged job IDs claiming a
+	// difficulty tier the session was never served — the credit-inflation
+	// attack the served-tier check rejects.
+	AttackDiff = "diff-game"
+	// AttackHammer redials and logs in as fast as possible on one shared
+	// site key, exhausting the identity's login bucket into a ban.
+	AttackHammer = "reconnect-hammer"
+	// AttackMix assigns ~80% of sessions honest vardiff-paced mining and
+	// rotates the other 20% across the four attacker kinds.
+	AttackMix = "mix"
+)
+
 // Scenario is one load shape. The schedules are open-loop: arrivals
 // follow the ramp regardless of how the service keeps up, the way
 // short-link visitors arrived at cnhv.co pages whether or not the pool
@@ -56,6 +81,20 @@ type Scenario struct {
 	// and verifies the server answers each exactly as the dialect
 	// specifies.
 	Malformed bool
+
+	// Attack picks the hostile behaviour (Attack* constants). Non-honest
+	// sessions verify the server's containment replies — an accepted
+	// duplicate, for instance, is a protocol error.
+	Attack string
+	// Defended marks a scenario that must run against a target with the
+	// vardiff + banscore defense layer enabled (drivers boot or select
+	// such a target; see DefendedInprocOptions).
+	Defended bool
+	// SimHashrate, when >0, paces honest sessions like a miner of this
+	// many hashes/second: the think time after each share is the served
+	// difficulty divided by it, so accepted-share cadence is difficulty-
+	// dependent and the vardiff retargeter has a real signal to steer.
+	SimHashrate float64
 }
 
 // scenarios is the named catalogue. Sessions/workers are sizing knobs on
@@ -131,6 +170,63 @@ var scenarios = map[string]Scenario{
 		Turns:        3,
 		Ramp:         2 * time.Second,
 		RefreshEvery: 500 * time.Millisecond,
+	},
+	"dup-submit": {
+		Name:        "dup-submit",
+		Description: "attackers replay one credited share; the pool must reject every duplicate and ban the identity",
+		Transport:   TransportMixed,
+		Defended:    true,
+		Attack:      AttackDup,
+		Turns:       8,
+		Ramp:        1 * time.Second,
+	},
+	"stale-flood": {
+		Name:         "stale-flood",
+		Description:  "attackers resubmit tip-outrun jobs forever; the stale retry loop must end in too-many-stale and a ban",
+		Transport:    TransportMixed,
+		Defended:     true,
+		Attack:       AttackStale,
+		Turns:        12,
+		Ramp:         1 * time.Second,
+		RefreshEvery: 300 * time.Millisecond,
+		Think:        350 * time.Millisecond,
+	},
+	"diff-game": {
+		Name:        "diff-game",
+		Description: "attackers forge job IDs at unserved difficulty tiers; the served-tier check must reject and ban",
+		Transport:   TransportMixed,
+		Defended:    true,
+		Attack:      AttackDiff,
+		Turns:       8,
+		Ramp:        1 * time.Second,
+	},
+	"reconnect-hammer": {
+		Name:        "reconnect-hammer",
+		Description: "attackers redial one shared identity as fast as possible; the login bucket must rate-limit into a ban",
+		Transport:   TransportMixed,
+		Defended:    true,
+		Attack:      AttackHammer,
+		Turns:       12,
+		Ramp:        500 * time.Millisecond,
+	},
+	"mixed-hostile": {
+		Name:         "mixed-hostile",
+		Description:  "~80% honest vardiff-paced miners with all four attacker kinds interleaved, both dialects, tips moving",
+		Transport:    TransportMixed,
+		Defended:     true,
+		Attack:       AttackMix,
+		// 8 turns: honest sessions spend the first retarget window (4
+		// accepts) at the starting difficulty and park with 4 accepts on
+		// the converged tier — the sample the cadence acceptance bound
+		// measures. More turns at the equilibrium think time would push
+		// the run into the per-scenario deadline for no extra signal.
+		Turns:        8,
+		Ramp:         2 * time.Second,
+		RefreshEvery: 400 * time.Millisecond,
+		// 2 H/s: the swarm really grinds, so total client CPU is honest
+		// sessions × hashrate × ~100µs/attempt — at catalogue scale
+		// anything faster starves the service it is measuring.
+		SimHashrate: 2,
 	},
 }
 

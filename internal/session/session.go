@@ -41,6 +41,11 @@ type Job struct {
 // malformed input too.
 var errTruncatedBlob = errors.New("session: truncated blob")
 
+// ErrBanned reports that the pool banned this session's identity (the ws
+// "banned" message / the TCP rpc error of the same text). Callers should
+// stop reconnecting; the ban outlives the connection.
+var ErrBanned = errors.New("session: banned by pool")
+
 // DecodeJob decodes a wire job: hex decode, revert the fixed-offset XOR
 // (the step the official miner hides "deep within its WebAssembly"), and
 // recover the nonce offset from the header prefix.
@@ -244,6 +249,8 @@ func (s *Session) Login() (stratum.Authed, Job, error) {
 			}
 			job, err := DecodeJob(j)
 			return authed, job, err
+		case stratum.TypeBanned:
+			return authed, Job{}, ErrBanned
 		case stratum.TypeError:
 			var e stratum.Error
 			_ = env.Decode(&e)

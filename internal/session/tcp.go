@@ -150,6 +150,11 @@ func (t *tcpTransport) readFrame(deadline time.Time) error {
 		t.pending = append(t.pending, stratum.Envelope{Type: env.Method, Params: env.Params})
 		return nil
 	case env.Error != nil:
+		if env.Error.Message == stratum.BannedMessage {
+			// The ws dialect gives bans their own message type; mirror that
+			// here so callers see one vocabulary for "stop reconnecting".
+			return t.synth(stratum.TypeBanned, stratum.Error{Error: env.Error.Message})
+		}
 		return t.synth(stratum.TypeError, stratum.Error{Error: env.Error.Message})
 	case len(env.Result) > 0:
 		return t.decodeResult(env)

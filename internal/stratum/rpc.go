@@ -33,6 +33,26 @@ const (
 // invalid, then pushes fresh work.
 const StaleJobMessage = "stale job"
 
+// Abuse-containment error texts. The TCP codec canonicalises RPC errors
+// into error envelopes carrying only the message, so these strings — not
+// the codes — are what clients of either dialect key rejection handling
+// on. Keep them stable.
+const (
+	// TooManyStaleMessage ends the stale-submit retry loop: after N
+	// consecutive stale shares the server stops re-jobbing and names the
+	// flood instead.
+	TooManyStaleMessage = "too many stale"
+	// BannedMessage rejects a login from (or drops a session of) an
+	// identity whose banscore crossed the threshold.
+	BannedMessage = "banned"
+	// RateLimitedMessage rejects a login or submit that exceeded the
+	// identity's token bucket.
+	RateLimitedMessage = "rate limited"
+	// DuplicateShareMessage rejects a share whose (job, nonce) was
+	// already credited to the session or account.
+	DuplicateShareMessage = "duplicate share"
+)
+
 // RPC error codes. Parse/method/params failures use the JSON-RPC 2.0
 // reserved codes; dialect-level rejections use small negative codes.
 const (
@@ -42,6 +62,9 @@ const (
 	RPCUnauthorized  = -1
 	RPCRejected      = -2
 	RPCStaleJob      = -3
+	RPCTooManyStale  = -4
+	RPCBanned        = -5
+	RPCRateLimited   = -6
 )
 
 // MaxRPCLine bounds one newline-delimited frame. The largest legitimate
