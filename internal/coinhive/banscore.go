@@ -132,6 +132,9 @@ type abuseEntry struct {
 type abuseShard struct {
 	mu sync.Mutex
 	m  map[string]*abuseEntry
+	// decayPerSec mirrors BanConfig.DecayPerSec so the eviction pass can
+	// decay scores without reaching back to the table's config.
+	decayPerSec float64
 }
 
 // abuseTable is the striped identity table.
@@ -144,6 +147,7 @@ func newAbuseTable(cfg BanConfig) *abuseTable {
 	t := &abuseTable{cfg: cfg}
 	for i := range t.shards {
 		t.shards[i].m = map[string]*abuseEntry{}
+		t.shards[i].decayPerSec = cfg.DecayPerSec
 	}
 	return t
 }
@@ -173,13 +177,21 @@ func (sh *abuseShard) entryLocked(key string, nowNs int64) *abuseEntry {
 }
 
 // evictLocked drops entries idle for over ten minutes that are neither
-// banned nor carrying score — the only state worth keeping. Runs only
-// when a stripe hits abuseShardCap, so the map iteration is off every
-// per-share path.
+// banned nor carrying score — the only state worth keeping. The score is
+// decayed before the test: stored scores are only refreshed on bumps, so
+// an identity that offended once and went idle would otherwise hold a
+// stale positive score forever and never be evictable — a site-key
+// rotator could then grow the stripe past abuseShardCap without bound.
+// Runs only when a stripe hits abuseShardCap, so the map iteration is off
+// every per-share path.
 func (sh *abuseShard) evictLocked(nowNs int64) {
 	const idleNs = int64(10 * time.Minute)
 	for k, e := range sh.m {
-		if e.bannedUntilNs <= nowNs && e.score <= 0 && nowNs-e.touchedNs > idleNs {
+		if e.bannedUntilNs > nowNs || nowNs-e.touchedNs <= idleNs {
+			continue
+		}
+		e.decayLocked(nowNs, sh.decayPerSec)
+		if e.score <= 0 {
 			delete(sh.m, k)
 		}
 	}

@@ -161,6 +161,20 @@ func TestBanscoreEviction(t *testing.T) {
 		t.Error("expired-ban idle entry survived eviction")
 	}
 
+	// An identity that offended once and went idle must decay to
+	// evictable: tested on the stored (un-decayed) score it would stay
+	// resident forever, and a site-key rotator — one offense per fresh key
+	// — could grow the stripe past its cap without bound.
+	tab.bump("one-off", 5, now)
+	ooSh := tab.shardFor("one-off")
+	ooSh.mu.Lock()
+	ooSh.evictLocked(later) // 11 idle minutes at 1 point/s: score decayed to 0
+	_, ooAlive := ooSh.m["one-off"]
+	ooSh.mu.Unlock()
+	if ooAlive {
+		t.Error("idle decayed-to-zero offender survived eviction")
+	}
+
 	// A still-banned entry must survive any eviction pass, even one that
 	// runs long past the idle window.
 	longCfg := BanConfig{BanThreshold: 100, BanDuration: 30 * time.Minute}

@@ -493,6 +493,15 @@ func (ms *MinerSession) open(auth stratum.Auth) []Event {
 func (ms *MinerSession) submit(cmd Command) {
 	p := ms.eng.pool
 	e := ms.eng
+	// Parse once: the duplicate memo keys on the tier-independent job
+	// identity (backend/generation/slot — the -d<N> and -L suffixes name
+	// the same PoW blob, so one nonce must dedupe across tiers), and the
+	// served-tier check needs the difficulty the ID claims.
+	jb, jseq, jslot, _, jdiff, jok := parseJobID(cmd.JobID)
+	var memoKey uint64
+	if jok {
+		memoKey = shareMemoKey(jb, jseq, jslot, cmd.Nonce)
+	}
 	if e.abuse != nil {
 		nowNs := e.clock.Now().UnixNano()
 		if !e.abuse.allowSubmit(ms.siteKey, nowNs) {
@@ -510,7 +519,7 @@ func (ms *MinerSession) submit(cmd Command) {
 		// was already paid for are named and scored. (The per-account memo
 		// in SubmitShare remains the authoritative net — it survives
 		// reconnects and covers direct-API callers.)
-		if ms.dupMemo.has(shareMemoKey(cmd.JobID, cmd.Nonce)) {
+		if jok && ms.dupMemo.has(memoKey) {
 			e.dupShares.Inc()
 			if ms.offend(e.ban.DuplicateScore, nowNs) {
 				return
@@ -525,7 +534,7 @@ func (ms *MinerSession) submit(cmd Command) {
 	// cheap targets; answer with the unknown-job re-job shape, scored,
 	// without parsing further or verifying.
 	if d := ms.curDiff.Load(); d != 0 {
-		if _, _, _, _, vd, pok := parseJobID(cmd.JobID); pok && vd != d && (vd == 0 || vd != ms.prevDiff) {
+		if jok && jdiff != d && (jdiff == 0 || jdiff != ms.prevDiff) {
 			e.forgedDiffs.Inc()
 			if ms.offend(e.ban.ForgedDiffScore, ms.abuseNowNs()) {
 				return
@@ -542,8 +551,8 @@ func (ms *MinerSession) submit(cmd Command) {
 	switch err {
 	case nil:
 		ms.staleRun = 0
-		if e.abuse != nil {
-			ms.sessionMemoAdd(shareMemoKey(cmd.JobID, cmd.Nonce))
+		if e.abuse != nil && jok {
+			ms.sessionMemoAdd(memoKey)
 		}
 		ms.emit(Event{Kind: EvAccepted, Accepted: stratum.HashAccepted{Hashes: int64(out.Credited)}})
 		if ms.linkID != "" {
@@ -559,19 +568,31 @@ func (ms *MinerSession) submit(cmd Command) {
 				}})
 			}
 		}
-		if ms.curDiff.Load() != 0 {
+		if d := ms.curDiff.Load(); d != 0 {
+			// A share at the served tier proves the miner has moved on to
+			// the new target, so the previous-tier grace is over: leaving
+			// prevDiff open would keep the old, possibly cheaper tier
+			// submittable for the rest of the retarget interval.
+			if jdiff == d {
+				ms.prevDiff = 0
+			}
 			_, retargeted = ms.vardiffAccept(e.clock.Now().UnixNano())
 		}
-	case ErrStaleJob:
-		// Stale tip: the share was honest work against a job the chain has
-		// outrun. Count it and hand out fresh work; the transport decides
-		// whether its dialect names the condition (TCP) or stays silent (ws).
-		p.sharesStale.Inc()
+	case ErrStaleJob, ErrUnknownJob:
+		// ErrStaleJob is honest work against a job the chain has outrun;
+		// ErrUnknownJob a never-issued identifier. Both are answered with a
+		// re-job (the transport decides whether its dialect names the
+		// condition (TCP) or stays silent (ws)), but only genuine tip churn
+		// counts toward pool.shares_stale. Both count toward the same
+		// consecutive-run bound: a client that keeps submitting dead or
+		// bogus identifiers stops earning re-jobs and gets the named flood
+		// error instead — neither tip churn nor an ID-forging flood can be
+		// ridden into unbounded free re-jobs.
+		if err == ErrStaleJob {
+			p.sharesStale.Inc()
+		}
 		ms.staleRun++
 		if e.ban.Enabled() && ms.staleRun > e.ban.StaleFloodAfter {
-			// Bounded retry loop: a client that keeps submitting dead work
-			// stops earning re-jobs and gets the named flood error instead
-			// — tip churn can no longer be ridden into unbounded retries.
 			e.staleFloods.Inc()
 			if ms.offend(e.ban.StaleFloodScore, ms.abuseNowNs()) {
 				return
@@ -582,11 +603,6 @@ func (ms *MinerSession) submit(cmd Command) {
 			})
 			return
 		}
-		stale = true
-	case ErrUnknownJob:
-		// Never-issued identifier. The wire answer is the same re-job the
-		// original dialect gave (pinned by the conformance scenarios), but
-		// it is not tip churn, so pool.shares_stale stays untouched.
 		stale = true
 	case ErrDuplicateShare:
 		// The account-level memo caught a replay the session memo could

@@ -207,20 +207,24 @@ func (m *shareMemo) insert(k uint64) bool {
 	return true
 }
 
-// shareMemoKey folds a submission's identity to the memo's fixed-width
-// key (FNV-1a over job ID and nonce). A 64-bit digest over ≤128 live
-// entries makes an accidental collision — a rejected honest share —
-// vanishingly unlikely, and a deliberate collision still earns the
-// attacker nothing but their own rejection.
-func shareMemoKey(jobID string, nonce uint32) uint64 {
+// shareMemoKey folds a submission's tier-independent identity — the
+// backend/generation/slot triple that names one PoW blob, plus the nonce —
+// to the memo's fixed-width key (FNV-1a). The job ID's difficulty and link
+// suffixes are deliberately excluded: a retargeted (or link-tier) ID names
+// the same blob as its siblings at other tiers, so one nonce must dedupe
+// across all of them — keying on the full ID string would let a miner
+// straddling a retarget resubmit the same hash under the old and new tier
+// IDs for double credit. A 64-bit digest over ≤128 live entries makes an
+// accidental collision — a rejected honest share — vanishingly unlikely,
+// and a deliberate collision still earns the attacker nothing but their
+// own rejection.
+func shareMemoKey(backend int, seq uint32, slot int, nonce uint32) uint64 {
 	h := uint64(14695981039346656037)
-	for i := 0; i < len(jobID); i++ {
-		h ^= uint64(jobID[i])
-		h *= 1099511628211
-	}
-	for i := 0; i < 4; i++ {
-		h ^= uint64(byte(nonce >> (8 * i)))
-		h *= 1099511628211
+	for _, w := range [4]uint32{uint32(backend), seq, uint32(slot), nonce} {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(w >> (8 * i)))
+			h *= 1099511628211
+		}
 	}
 	return h
 }
@@ -600,7 +604,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	// concurrent submissions of one share.
 	var memoKey uint64
 	if p.cfg.ShareMemoSize > 0 {
-		memoKey = shareMemoKey(jobID, nonce)
+		memoKey = shareMemoKey(b, seq, slot, nonce)
 		st := p.stripeFor(token)
 		st.mu.Lock()
 		dup := st.memo[token].has(memoKey) // nil memo: has is false

@@ -41,6 +41,40 @@ func TestPoolDuplicateShareRejected(t *testing.T) {
 	}
 }
 
+// TestPoolDuplicateAcrossTiersRejected pins the tier-independence of the
+// dedupe key: a retargeted job ID names the same PoW blob as its static
+// and other-tier siblings, so one nonce is credited once — never once per
+// difficulty tier. Keying the memo on the full ID string would let a
+// miner straddling a retarget resubmit the same hash under the old- and
+// new-tier IDs for double credit.
+func TestPoolDuplicateAcrossTiersRejected(t *testing.T) {
+	pool := newTestPool(t, 16, func(c *PoolConfig) {
+		c.Vardiff = VardiffConfig{TargetSharesPerMin: 240, MinDifficulty: 1, MaxDifficulty: 4096}
+	})
+	jLow := pool.JobAt(0, 0, 4)
+	jHigh := pool.JobAt(0, 0, 32)
+	jStatic := pool.Job(0, 0, false)
+	// One hash ground against the hardest tier meets every lower target.
+	nonce, sum := mineShare(t, pool, jHigh)
+
+	if out, err := pool.SubmitShare("tier-site", jLow.JobID, nonce, sum, ""); err != nil || out.Diff != 4 {
+		t.Fatalf("low-tier submit: diff=%d err=%v, want 4,nil", out.Diff, err)
+	}
+	// The same nonce under any sibling tier's ID is the same work.
+	if _, err := pool.SubmitShare("tier-site", jHigh.JobID, nonce, sum, ""); err != ErrDuplicateShare {
+		t.Errorf("high-tier replay: err = %v, want ErrDuplicateShare", err)
+	}
+	if _, err := pool.SubmitShare("tier-site", jStatic.JobID, nonce, sum, ""); err != ErrDuplicateShare {
+		t.Errorf("static-tier replay: err = %v, want ErrDuplicateShare", err)
+	}
+	if a, _ := pool.AccountSnapshot("tier-site"); a.TotalHashes != 4 {
+		t.Errorf("credit = %d, want 4 (the one tier actually paid)", a.TotalHashes)
+	}
+	if st := pool.StatsSnapshot(); st.SharesOK != 1 || st.SharesDuplicate != 2 {
+		t.Errorf("SharesOK=%d SharesDuplicate=%d, want 1,2", st.SharesOK, st.SharesDuplicate)
+	}
+}
+
 // TestPoolShareMemoRingEviction pins the memo's bounded-memory contract:
 // it remembers only the most recent ShareMemoSize shares per account, so
 // an ancient share replays successfully (the window is an abuse bound,

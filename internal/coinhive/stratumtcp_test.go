@@ -373,3 +373,55 @@ func TestStratumTCPStaleFloodBoundedAndBanned(t *testing.T) {
 		t.Errorf("AbuseState = (%v, %v), want score consumed and a ban deadline", score, until)
 	}
 }
+
+// TestStratumTCPBogusJobFloodBoundedAndBanned is the forged-identifier
+// twin of the stale-flood test: submits against a never-issued job ID
+// (a future generation) earn the same re-job shape, but they count toward
+// the same consecutive-run bound — a bogus-ID flooder stops earning
+// re-jobs after StaleFloodAfter, then accumulates to a ban, instead of
+// riding silent re-jobs forever under the submit rate limit.
+func TestStratumTCPBogusJobFloodBoundedAndBanned(t *testing.T) {
+	defended := func(c *coinhive.PoolConfig) {
+		c.Ban = coinhive.BanConfig{
+			BanThreshold:    100,
+			StaleFloodAfter: 2,
+			StaleFloodScore: 25,
+			BanDuration:     time.Minute,
+		}
+	}
+	_, handler, pool := startService(t, 4, defended)
+	_, addr := startStratum(t, handler)
+
+	c := dialRaw(t, addr)
+	res := c.login("bogus-tcp-key")
+	resubmit := func(id int) {
+		c.sendLine(fmt.Sprintf(`{"id":%d,"jsonrpc":"2.0","method":"submit","params":{"id":%q,"job_id":"0-999999-0","nonce":"00000000","result":%q}}`,
+			id, res.ID, strings.Repeat("00", 32)))
+	}
+
+	// Rejections 1..StaleFloodAfter: the unknown-job re-job shape.
+	for i := 0; i < 2; i++ {
+		resubmit(10 + i)
+		c.mustReadError(stratum.RPCStaleJob)
+		if rejob, err := c.readEnvelope(); err != nil || rejob.Method != stratum.TypeJob {
+			t.Fatalf("bogus %d: expected re-job, got %+v (%v)", i+1, rejob, err)
+		}
+	}
+	// Past the bound: the named flood error and no more free re-jobs.
+	for i := 0; i < 3; i++ {
+		resubmit(20 + i)
+		c.mustReadError(stratum.RPCTooManyStale)
+	}
+	// Each flood offense scored 25: the fourth crosses the threshold.
+	resubmit(30)
+	c.mustReadError(stratum.RPCBanned)
+	c.mustBeClosed()
+
+	// Forged identifiers are not tip churn: pool.shares_stale untouched.
+	if st := pool.StatsSnapshot(); st.SharesStale != 0 || st.SharesOK != 0 {
+		t.Errorf("SharesStale=%d SharesOK=%d, want 0,0", st.SharesStale, st.SharesOK)
+	}
+	if _, until := handler.Engine().AbuseState("bogus-tcp-key"); until.IsZero() {
+		t.Error("bogus-ID flooder never banned")
+	}
+}

@@ -84,6 +84,15 @@ func (c *VardiffConfig) fillDefaults(shareDiff uint64) {
 	if c.MinWindowShares == 0 {
 		c.MinWindowShares = 4
 	}
+	// perMin measures the oldest→newest span, so it needs ≥2 samples: a
+	// one-sample window has zero span, reads as +Inf cadence and would
+	// drive a maximum upward retarget on every accepted share.
+	if c.WindowShares < 2 {
+		c.WindowShares = 2
+	}
+	if c.MinWindowShares < 2 {
+		c.MinWindowShares = 2
+	}
 	if c.MinWindowShares > c.WindowShares {
 		c.MinWindowShares = c.WindowShares
 	}

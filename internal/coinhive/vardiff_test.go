@@ -128,4 +128,13 @@ func TestVardiffDefaults(t *testing.T) {
 	if big.MaxDifficulty < 1<<60 {
 		t.Errorf("MaxDifficulty overflowed to %d", big.MaxDifficulty)
 	}
+
+	// Explicit one-sample windows are clamped to 2: perMin measures the
+	// oldest→newest span, and a single-sample window has zero span — +Inf
+	// cadence, a maximum upward retarget on every accepted share.
+	tiny := VardiffConfig{TargetSharesPerMin: 240, WindowShares: 1, MinWindowShares: 1}
+	tiny.fillDefaults(256)
+	if tiny.WindowShares != 2 || tiny.MinWindowShares != 2 {
+		t.Errorf("one-sample clamp = (%d, %d), want (2, 2)", tiny.WindowShares, tiny.MinWindowShares)
+	}
 }

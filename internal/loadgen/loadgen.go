@@ -188,6 +188,15 @@ type minerSession struct {
 	// exactly what the account-level memo would catch.
 	seqByJob map[string]int
 
+	// credNonces remembers the nonces this session was credited for, per
+	// PoW blob. The pool's duplicate memo keys on the tier-independent
+	// blob identity, but the oracle sequences solutions per blob+target —
+	// so after a vardiff retarget the new target's sequence restarts and
+	// its first solutions can land on nonces already paid at the old tier
+	// (the same hash is a solution at every tier it meets). An honest
+	// miner never re-submits the same work, so validTurn skips those.
+	credNonces map[string]map[uint32]struct{}
+
 	// lastOK* remember the most recent credited share (validTurn fills
 	// them); the duplicate submitter replays exactly this triple.
 	lastOKJob   string
@@ -713,11 +722,23 @@ func (sw *Swarm) validTurn(s *minerSession) error {
 	for attempt := 0; attempt < 3; attempt++ {
 		// Solutions are sequence-indexed per PoW input: every credited
 		// share advances the session's cursor, so honest replays never
-		// collide with the pool's per-account duplicate memo.
+		// collide with the pool's per-account duplicate memo. Nonces the
+		// session was already credited for on this blob — at any tier —
+		// are skipped: the memo is tier-independent, the oracle is not.
 		inputKey := s.job.WireBlob + "|" + s.job.WireTarget
-		nonce, sum, err := sw.oracle.SolveSeq(s.job, s.seqByJob[inputKey])
-		if err != nil {
-			return sw.protoError(s, "oracle", err)
+		blob := s.job.WireBlob
+		var nonce uint32
+		var sum [32]byte
+		for {
+			var err error
+			nonce, sum, err = sw.oracle.SolveSeq(s.job, s.seqByJob[inputKey])
+			if err != nil {
+				return sw.protoError(s, "oracle", err)
+			}
+			if _, paid := s.credNonces[blob][nonce]; !paid {
+				break
+			}
+			s.seqByJob[inputKey]++
 		}
 		submittedID, submittedDiff := s.job.ID, jobDiff(s.job)
 		t0 := time.Now()
@@ -737,6 +758,13 @@ func (sw *Swarm) validTurn(s *minerSession) error {
 				sw.acceptNs.Observe(time.Since(t0))
 				sw.sharesOK.Inc()
 				s.seqByJob[inputKey]++
+				if s.credNonces == nil {
+					s.credNonces = map[string]map[uint32]struct{}{}
+				}
+				if s.credNonces[blob] == nil {
+					s.credNonces[blob] = map[uint32]struct{}{}
+				}
+				s.credNonces[blob][nonce] = struct{}{}
 				s.lastOKJob, s.lastOKNonce, s.lastOKSum = submittedID, nonce, sum
 				sw.noteAccept(s, submittedDiff)
 				accepted = true
