@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke load-hostile
+.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke load-hostile load-scale
 
 all: build vet test-short
 
@@ -42,6 +42,7 @@ check:
 	$(GO) test -short -race ./...
 	$(MAKE) load-smoke
 	$(MAKE) load-hostile
+	$(MAKE) load-scale
 
 # Live-service gate (≈10s): both transports — 500 concurrent ws miner
 # sessions, then 500 concurrent raw-TCP stratum sessions — against an
@@ -58,12 +59,23 @@ load-smoke:
 load-hostile:
 	$(GO) run ./cmd/loadd -hostile-smoke
 
+# Scaling gate (≈30s): tcp-scale at 1k then 10k sessions over in-memory
+# conns (zero fds — the box's fd cap stops real sockets near 9k). Fails
+# unless both tiers finish with zero protocol errors, 10k parked
+# sessions hold far fewer than one goroutine each, job encodes stay
+# O(tiers) per tip, and the hold-window fan-out p99 at 10k is within 2×
+# the 1k fan-out baseline.
+load-scale:
+	$(GO) run ./cmd/loadd -scale-smoke
+
 # Full load-scenario catalogue (ws: steady/churn/storm/slow/malformed/
 # smoke; tcp: tcp-steady/tcp-storm/tcp-smoke; both: mixed) at swarm
-# scale; writes the trajectory point to BENCH_load.json, including the
-# server-side job-push fan-out p99 for the server-clocked scenarios.
+# scale, plus the 10k/25k/50k tcp-scale tiers; writes the trajectory
+# point to BENCH_load.json, including the server-side job-push fan-out
+# p99 for the server-clocked scenarios and the scaling-curve telemetry
+# (goroutines at park, parked sessions, encodes and bytes per push).
 load:
-	$(GO) run ./cmd/loadd -scenario all -sessions 1000 -out BENCH_load.json
+	$(GO) run ./cmd/loadd -scenario all -sessions 1000 -scale -out BENCH_load.json
 
 # Core perf benchmarks (CryptoNight, Keccak, chain, simclock, pool, Fig5
 # day); writes the machine-readable trajectory point to BENCH_core.json.

@@ -8,6 +8,7 @@
 //	coinhived [-listen :8080] [-stratum-addr :3333] [-share-diff 256] [-link-diff 16]
 //	coinhived -vardiff 240 -vardiff-min 16 -vardiff-max 65536   # per-session retargeting
 //	coinhived -ban-threshold 100 -ban-duration 10m -login-rate 2  # abuse containment
+//	coinhived -pprof-addr 127.0.0.1:6060   # opt-in net/http/pprof on its own listener
 //	coinhived -smoke        # boot the service, serve one stats request, exit
 //
 // Endpoints:
@@ -39,6 +40,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr: profiling endpoints on their own listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,8 +78,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	loginRate := fs.Float64("login-rate", 0, "sustained logins/sec per identity when banning is on (0: default 5)")
 	submitRate := fs.Float64("submit-rate", 0, "sustained submits/sec per identity when banning is on (0: default 20)")
 	smoke := fs.Bool("smoke", false, "serve one stats request on an ephemeral port, then exit")
+	pprofAddr := fs.String("pprof-addr", "", `serve net/http/pprof on this address ("" disables; keep it loopback/firewalled)`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener and mux, never the service
+		// handler: /debug/pprof on the public mux would hand every visitor
+		// heap dumps and symbol tables. Opt-in only, for chasing fan-out
+		// stalls and goroutine growth on a live box.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the side-
+			// effect import; nothing else registers on it in this process.
+			if err := http.Serve(pln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(out, "coinhived: pprof front died: %v\n", err)
+			}
+		}()
+		defer pln.Close()
+		fmt.Fprintf(out, "coinhived: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
 	params := blockchain.SimParams()

@@ -79,6 +79,7 @@ type Event struct {
 	Kind     EventKind
 	Authed   stratum.Authed          // EvAuthed
 	Job      stratum.Job             // EvJob
+	Wire     *JobWire                // EvJob: pre-encoded wire forms of Job (never nil for EvJob)
 	Stale    bool                    // EvJob: re-issued because the submitted job went stale
 	Retarget bool                    // EvJob: difficulty retarget — server-clocked dialects must push it
 	Accepted stratum.HashAccepted    // EvAccepted
@@ -203,10 +204,11 @@ func (e *Engine) NewSession(endpoint int) *MinerSession {
 	}
 }
 
-// ServeSession runs one session to completion: decode, step, deliver,
-// until the transport dies or the engine declares the session over. This
-// loop is the whole serve path of every dialect.
-func (e *Engine) ServeSession(endpoint int, t SessionTransport) {
+// BindSession opens a session bound to a transport: NewSession plus the
+// transport-derived state (clocking, peer host). Transports that park
+// connections between commands use it with StepDeliver to run the same
+// protocol without a dedicated loop goroutine.
+func (e *Engine) BindSession(endpoint int, t SessionTransport) *MinerSession {
 	ms := e.NewSession(endpoint)
 	ms.serverClocked = t.ServerClocked()
 	// Transports that know their peer's address expose it for per-host
@@ -214,20 +216,38 @@ func (e *Engine) ServeSession(endpoint int, t SessionTransport) {
 	if rh, ok := t.(interface{ RemoteHost() string }); ok {
 		ms.remote = rh.RemoteHost()
 	}
+	return ms
+}
+
+// StepDeliver advances a session by one decoded command and delivers the
+// replies. It reports whether the session is over (delivery failed, or a
+// fatal error event was produced); the caller then owns closing ms.
+func (e *Engine) StepDeliver(ms *MinerSession, t SessionTransport, cmd Command) (done bool) {
+	evs := ms.Step(cmd)
+	if t.Deliver(ms, cmd, evs) != nil {
+		return true
+	}
+	for i := range evs {
+		if evs[i].Kind == EvError && evs[i].Fatal {
+			return true
+		}
+	}
+	return false
+}
+
+// ServeSession runs one session to completion: decode, step, deliver,
+// until the transport dies or the engine declares the session over. This
+// loop is the whole serve path of every goroutine-per-conn dialect.
+func (e *Engine) ServeSession(endpoint int, t SessionTransport) {
+	ms := e.BindSession(endpoint, t)
 	defer ms.Close()
 	for {
 		cmd, err := t.ReadCommand()
 		if err != nil {
 			return
 		}
-		evs := ms.Step(cmd)
-		if t.Deliver(ms, cmd, evs) != nil {
+		if e.StepDeliver(ms, t, cmd) {
 			return
-		}
-		for i := range evs {
-			if evs[i].Kind == EvError && evs[i].Fatal {
-				return
-			}
 		}
 	}
 }
@@ -289,15 +309,22 @@ func (ms *MinerSession) Close() {
 // Step once the session is authed (curDiff is the one retarget-mutated
 // field it reads, and it is atomic).
 func (ms *MinerSession) CurrentJob() stratum.Job {
-	ms.eng.jobsSent.Inc()
-	return ms.mintJob()
+	return ms.CurrentWire().Job
 }
 
-func (ms *MinerSession) mintJob() stratum.Job {
+// CurrentWire is CurrentJob's encode-once form: the fan-out pushes the
+// returned wire bytes to every session on the same tier without
+// re-marshaling. Same concurrency contract as CurrentJob.
+func (ms *MinerSession) CurrentWire() *JobWire {
+	ms.eng.jobsSent.Inc()
+	return ms.mintWire()
+}
+
+func (ms *MinerSession) mintWire() *JobWire {
 	if d := ms.curDiff.Load(); d != 0 {
-		return ms.eng.pool.JobAt(ms.endpoint, ms.slot, d)
+		return ms.eng.pool.jobWire(ms.endpoint, ms.slot, d, false)
 	}
-	return ms.eng.pool.Job(ms.endpoint, ms.slot, ms.lowDiff)
+	return ms.eng.pool.jobWire(ms.endpoint, ms.slot, 0, ms.lowDiff)
 }
 
 func (ms *MinerSession) emit(ev Event) {
@@ -310,9 +337,11 @@ func (ms *MinerSession) emitJob(stale bool) {
 
 func (ms *MinerSession) emitJobRetarget(stale, retarget bool) {
 	ms.eng.jobsSent.Inc()
+	w := ms.mintWire()
 	ms.emit(Event{
 		Kind:     EvJob,
-		Job:      ms.mintJob(),
+		Job:      w.Job,
+		Wire:     w,
 		Stale:    stale,
 		Retarget: retarget,
 	})

@@ -1,0 +1,85 @@
+package coinhive
+
+import (
+	"repro/internal/cryptonight"
+	"repro/internal/stratum"
+	"repro/internal/ws"
+)
+
+// JobWire is one job notification encoded once for every transport: the
+// decoded Job (for correlation and tests), the TCP dialect's complete
+// notify line, and the ws dialect's complete pre-built text frame (the
+// header is included — payload length is fixed per tier, so nothing about
+// the frame is per-session). A JobWire is immutable after construction
+// and shared by reference: a tip event encodes each (backend, slot, tier)
+// combination exactly once, however many thousand sessions the fan-out
+// then hands the same bytes to.
+type JobWire struct {
+	Job     stratum.Job
+	TCPLine []byte // JSON-RPC job notification, trailing newline included
+	WSFrame []byte // complete unmasked ws text frame
+}
+
+// newJobWire encodes both wire forms of one job. Every call is a cache
+// miss somewhere — pool.job_encodes against server.jobs_sent is the
+// bytes-marshaled-per-push telemetry proving the fan-out encodes once.
+func (p *Pool) newJobWire(j stratum.Job) *JobWire {
+	p.jobEncodes.Inc()
+	w := &JobWire{Job: j}
+	w.TCPLine = stratum.AppendJobNotifyLine(make([]byte, 0, len(j.Blob)+len(j.JobID)+96), j)
+	payload := stratum.AppendJobEnvelope(make([]byte, 0, len(j.Blob)+len(j.JobID)+64), j)
+	w.WSFrame = ws.AppendServerFrame(make([]byte, 0, len(payload)+4), ws.OpText, payload)
+	return w
+}
+
+// jobWire returns the current pre-encoded job for an endpoint/slot at the
+// given tier (diff 0 + forLink=false is the static tier). Wires are
+// minted lazily under the shard lock and cached until the next refresh;
+// refreshes replace the cache slices wholesale, so a wire handed to an
+// in-flight event stays valid (and merely stale) after the tip moves.
+func (p *Pool) jobWire(endpoint, slot int, diff uint64, forLink bool) *JobWire {
+	b := p.BackendOfEndpoint(endpoint)
+	sh := p.backends[b]
+	s := ((slot % p.cfg.TemplatesPerBackend) + p.cfg.TemplatesPerBackend) % p.cfg.TemplatesPerBackend
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if tip := p.cfg.Chain.TipID(); sh.tip != tip {
+		p.refreshShardLocked(sh, b, tip)
+	}
+	switch {
+	case forLink:
+		if sh.wireLink[s] == nil {
+			if sh.linkJobIDs[s] == "" {
+				sh.linkJobIDs[s] = makeJobID(b, sh.refreshSeq, s, true, 0)
+			}
+			sh.wireLink[s] = p.newJobWire(stratum.Job{
+				JobID: sh.linkJobIDs[s], Blob: sh.jobBlobHex[s], Target: p.linkTargetHex,
+			})
+		}
+		return sh.wireLink[s]
+	case diff != 0:
+		tier := sh.wireDiff[diff]
+		if tier == nil {
+			if sh.wireDiff == nil {
+				sh.wireDiff = map[uint64][]*JobWire{}
+			}
+			tier = make([]*JobWire, p.cfg.TemplatesPerBackend)
+			sh.wireDiff[diff] = tier
+		}
+		if tier[s] == nil {
+			tier[s] = p.newJobWire(stratum.Job{
+				JobID:  makeJobID(b, sh.refreshSeq, s, false, diff),
+				Blob:   sh.jobBlobHex[s],
+				Target: stratum.EncodeTarget(cryptonight.DifficultyForTarget(diff)),
+			})
+		}
+		return tier[s]
+	default:
+		if sh.wireStatic[s] == nil {
+			sh.wireStatic[s] = p.newJobWire(stratum.Job{
+				JobID: sh.jobIDs[s], Blob: sh.jobBlobHex[s], Target: p.targetHex,
+			})
+		}
+		return sh.wireStatic[s]
+	}
+}

@@ -158,6 +158,15 @@ type backendShard struct {
 	jobIDs     []string            // per-slot wire job IDs for this refresh
 	linkJobIDs []string            // per-slot link-difficulty IDs, built on demand
 	wire       []byte              // obfuscation scratch
+
+	// Pre-encoded wire forms per slot (and per vardiff tier), minted
+	// lazily on first handout after each refresh — the encode-once cache
+	// behind the job-push fan-out (see jobwire.go). The slices are
+	// replaced, not cleared, on refresh: in-flight events keep valid
+	// pointers to the old generation's wires.
+	wireStatic []*JobWire
+	wireLink   []*JobWire
+	wireDiff   map[uint64][]*JobWire
 }
 
 // accountStripe holds the accounts (and this round's hash credit) for the
@@ -265,6 +274,10 @@ type Pool struct {
 	sharesStale  *metrics.Counter
 	blocksFound  *metrics.Counter
 	shardRefresh *metrics.Counter
+	// jobEncodes counts JobWire constructions — against server.jobs_sent
+	// it is the bytes-marshaled-per-push telemetry: a healthy fan-out
+	// encodes once per (backend, slot, tier) per refresh, not per session.
+	jobEncodes *metrics.Counter
 	kept         atomic.Uint64 // pool's 30% cut, cumulative
 	paid         atomic.Uint64 // users' 70%, cumulative
 
@@ -299,6 +312,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		sharesStale:  cfg.Metrics.Counter("pool.shares_stale"),
 		blocksFound:  cfg.Metrics.Counter("pool.blocks_found"),
 		shardRefresh: cfg.Metrics.Counter("pool.shard_refresh"),
+		jobEncodes:   cfg.Metrics.Counter("pool.job_encodes"),
 	}
 	for i := range p.stripes {
 		p.stripes[i].accts = map[string]*Account{}
@@ -461,6 +475,9 @@ func (p *Pool) refreshShardLocked(sh *backendShard, backend int, tip [32]byte) {
 		sh.jobIDs[s] = makeJobID(backend, sh.refreshSeq, s, false, 0)
 		sh.linkJobIDs[s] = "" // minted on the first link job of this refresh
 	}
+	sh.wireStatic = make([]*JobWire, len(sh.templates))
+	sh.wireLink = make([]*JobWire, len(sh.templates))
+	clear(sh.wireDiff)
 }
 
 // RefreshIfStale rebuilds templates when the chain tip moved (called by the
@@ -514,47 +531,15 @@ func (st *accountStripe) accountLocked(token string) *Account {
 // backend's rotating templates, so polling one endpoint reveals at most
 // TemplatesPerBackend distinct inputs per block (the paper measured 8).
 func (p *Pool) Job(endpoint, slot int, forLink bool) stratum.Job {
-	b := p.BackendOfEndpoint(endpoint)
-	sh := p.backends[b]
-	s := ((slot % p.cfg.TemplatesPerBackend) + p.cfg.TemplatesPerBackend) % p.cfg.TemplatesPerBackend
-	target := p.targetHex
-	sh.mu.Lock()
-	if tip := p.cfg.Chain.TipID(); sh.tip != tip {
-		p.refreshShardLocked(sh, b, tip)
-	}
-	id := sh.jobIDs[s]
-	if forLink {
-		if sh.linkJobIDs[s] == "" {
-			sh.linkJobIDs[s] = makeJobID(b, sh.refreshSeq, s, true, 0)
-		}
-		id = sh.linkJobIDs[s]
-		target = p.linkTargetHex
-	}
-	blobHex := sh.jobBlobHex[s]
-	sh.mu.Unlock()
-	return stratum.Job{JobID: id, Blob: blobHex, Target: target}
+	return p.jobWire(endpoint, slot, 0, forLink).Job
 }
 
 // JobAt hands out the current PoW input at an explicit vardiff difficulty
-// — the engine's retargeted-session job path. The ID and target are minted
-// per call (the tier is per-session state, not shard state); the blob is
-// the same cached wire blob Job serves.
+// — the engine's retargeted-session job path. The tier is per-session
+// state, not shard state, but its wire form is cached per (slot, diff)
+// like every other handout (see jobwire.go).
 func (p *Pool) JobAt(endpoint, slot int, diff uint64) stratum.Job {
-	b := p.BackendOfEndpoint(endpoint)
-	sh := p.backends[b]
-	s := ((slot % p.cfg.TemplatesPerBackend) + p.cfg.TemplatesPerBackend) % p.cfg.TemplatesPerBackend
-	sh.mu.Lock()
-	if tip := p.cfg.Chain.TipID(); sh.tip != tip {
-		p.refreshShardLocked(sh, b, tip)
-	}
-	seq := sh.refreshSeq
-	blobHex := sh.jobBlobHex[s]
-	sh.mu.Unlock()
-	return stratum.Job{
-		JobID:  makeJobID(b, seq, s, false, diff),
-		Blob:   blobHex,
-		Target: stratum.EncodeTarget(cryptonight.DifficultyForTarget(diff)),
-	}
+	return p.jobWire(endpoint, slot, diff, false).Job
 }
 
 // shareDiffOf returns the hash credit for a job.

@@ -233,6 +233,10 @@ func (s *Server) serveWS(w http.ResponseWriter, r *http.Request, endpoint int) {
 		return
 	}
 	defer conn.Close()
+	// The codec fully decodes each frame before the next read, so the
+	// read buffer can be recycled across messages instead of reallocated
+	// per frame.
+	conn.EnableReadBufferReuse()
 	if !s.conns.Track(conn) {
 		_ = conn.CloseWithCode(ws.CloseGoingAway, "server shutting down")
 		return
@@ -260,6 +264,10 @@ func remoteHost(addr net.Addr) string {
 type wsTransport struct {
 	conn   *ws.Conn
 	remote string
+	// Scratch for the alloc-free delivery fast paths: the envelope
+	// payload and the encoded frame around it.
+	pbuf []byte
+	fbuf []byte
 }
 
 // RemoteHost exposes the peer host for the engine's optional per-host
@@ -300,7 +308,13 @@ func (t *wsTransport) ReadCommand() (Command, error) {
 // answers, so every submit reply carries the next job.
 func (t *wsTransport) ServerClocked() bool { return false }
 
-// Deliver renders each event as one envelope frame, in order.
+// Deliver renders each event as one envelope frame, in order. The two
+// steady-state events take encode-once paths: a job's frame bytes were
+// already minted by the JobWire cache (shared by every session on the
+// same vardiff tier), and an accepted-share ack is assembled by the
+// alloc-free appenders into the transport's scratch buffer. Everything
+// else — auth, errors, link and captcha notifications — is cold and
+// keeps the reflective marshal.
 func (t *wsTransport) Deliver(ms *MinerSession, cmd Command, evs []Event) error {
 	for _, ev := range evs {
 		var (
@@ -311,9 +325,20 @@ func (t *wsTransport) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 		case EvAuthed:
 			msgType, params = stratum.TypeAuthed, ev.Authed
 		case EvJob:
+			if ev.Wire != nil {
+				if err := t.conn.WriteRawFrame(ev.Wire.WSFrame); err != nil {
+					return err
+				}
+				continue
+			}
 			msgType, params = stratum.TypeJob, ev.Job
 		case EvAccepted:
-			msgType, params = stratum.TypeHashAccepted, ev.Accepted
+			t.pbuf = stratum.AppendHashAcceptedEnvelope(t.pbuf[:0], ev.Accepted.Hashes)
+			t.fbuf = ws.AppendServerFrame(t.fbuf[:0], ws.OpText, t.pbuf)
+			if err := t.conn.WriteRawFrame(t.fbuf); err != nil {
+				return err
+			}
+			continue
 		case EvLinkResolved:
 			msgType, params = stratum.TypeLinkResolved, ev.Link
 		case EvCaptchaVerified:

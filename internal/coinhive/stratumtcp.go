@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netpark"
 	"repro/internal/stratum"
 )
 
@@ -39,19 +40,34 @@ import (
 // unparseable JSON get one error response and the connection is dropped;
 // a connection silent for longer than KeepaliveWindow is dropped without
 // ceremony — that is what keepalived is for.
+//
+// Scaling shape: a server-clocked session is silent almost all of its
+// life, so idle connections are *parked* (netpark) — no reader goroutine,
+// no bufio buffer — and resumed when bytes arrive or the keepalive window
+// lapses. Job pushes never touch the parked read side: the fan-out
+// enqueues the tier's pre-encoded wire line (JobWire, minted once per
+// tip × tier) on a per-connection outbound queue, drained in batches by
+// an on-demand writer goroutine. Goroutines therefore scale with
+// *active* sessions plus in-flight pushes, not with live sessions.
 type StratumServer struct {
 	eng *Engine
 
-	// KeepaliveWindow bounds peer silence: each read waits at most this
-	// long before the connection is declared dead. Zero means the default
-	// of 90 seconds. Compliant clients ping every
+	// KeepaliveWindow bounds peer silence: each read (or park) waits at
+	// most this long before the connection is declared dead. Zero means
+	// the default of 90 seconds. Compliant clients ping every
 	// session.KeepaliveInterval (30s) while busy, so production windows
 	// must stay comfortably above that; sub-interval windows are for
 	// tests. Set it before calling Serve; connection goroutines read it
 	// unsynchronised.
 	KeepaliveWindow time.Duration
 
-	conns connSet[*stratumConn]
+	conns  connSet[*stratumConn]
+	parker *netpark.Parker
+
+	// readers recycles bufio read buffers across park/resume cycles: a
+	// parked session holds no buffer, so the pool's size tracks active
+	// sessions, not live ones.
+	readers sync.Pool
 
 	mu sync.Mutex // guards ln and unsubscribe
 	ln net.Listener
@@ -70,9 +86,43 @@ type StratumServer struct {
 	stop         chan struct{}
 	pendingTipNs atomic.Int64
 
-	pushes *metrics.Counter   // job notifications pushed on tip events
-	pushNs *metrics.Histogram // per-session delivery latency within one fan-out
+	// drainq feeds connections whose push queue just went non-empty to a
+	// small fixed pool of drain workers. A goroutine per draining conn
+	// would mean one spawn per session per tip event — at 50k sessions
+	// that is 50k goroutine creations per fan-out, and the spawn cost
+	// alone dominates delivery latency. The pool amortises it to one
+	// channel hop; enqueuePush falls back to spawning only if the queue
+	// is full (it is sized past the largest supported swarm).
+	drainq chan *stratumConn
+
+	pushes     *metrics.Counter   // job notifications delivered on tip events
+	pushNs     *metrics.Histogram // tip-to-socket delivery latency per notification
+	pushBytes  *metrics.Counter   // wire bytes written by the push path
+	queueDepth *metrics.Gauge     // outstanding queued pushes (Peak = worst backlog)
 }
+
+// Number of pushes one connection may have outstanding before it is
+// declared stalled and torn down. At one push per tip event, a healthy
+// peer's queue never exceeds a handful; 64 means the peer stopped
+// reading for dozens of chain ticks.
+const pushQueueCap = 64
+
+// parkGrace bounds the read wait after a park wake: the wake promised
+// bytes, so if none show up quickly the session re-parks instead of
+// holding a goroutine for the rest of the keepalive window.
+const parkGrace = 2 * time.Second
+
+// drainWorkers is the fixed drain pool size. Writes are buffered-socket
+// fast in the common case, so a handful of workers sustains full-swarm
+// fan-out; a stalled peer can pin a worker for at most one write
+// deadline (writeBatch's 2s) before it is torn down.
+const drainWorkers = 8
+
+// drainQueueCap sizes drainq past the largest supported swarm: one tip
+// fan-out enqueues each live conn at most once (the draining flag
+// dedupes), so 64k slots cover the 50k tier without ever falling back
+// to per-conn goroutine spawns.
+const drainQueueCap = 1 << 16
 
 // NewStratumServer builds the TCP front over an engine (share one engine
 // with the ws Server so session accounting spans both transports) and
@@ -80,13 +130,20 @@ type StratumServer struct {
 func NewStratumServer(e *Engine) *StratumServer {
 	reg := e.Pool().Metrics()
 	s := &StratumServer{
-		eng:      e,
-		pushWake: make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		pushes:   reg.Counter("stratum.jobs_pushed"),
-		pushNs:   reg.Histogram("stratum.push_ns"),
+		eng:        e,
+		parker:     netpark.New(0),
+		pushWake:   make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		drainq:     make(chan *stratumConn, drainQueueCap),
+		pushes:     reg.Counter("stratum.jobs_pushed"),
+		pushNs:     reg.Histogram("stratum.push_ns"),
+		pushBytes:  reg.Counter("server.push_bytes"),
+		queueDepth: reg.Gauge("server.push_queue_depth"),
 	}
 	go s.pushLoop()
+	for i := 0; i < drainWorkers; i++ {
+		go s.drainLoop()
+	}
 	s.unsubscribe = e.Pool().Chain().Subscribe(func(tip [32]byte, height uint64) {
 		// Keep the EARLIEST unserved tip's timestamp: a coalesced fan-out
 		// serves every tip since the last one, and its latency is how
@@ -100,14 +157,29 @@ func NewStratumServer(e *Engine) *StratumServer {
 	return s
 }
 
-// pushLoop serialises fan-outs on one goroutine, so a peer that stalls
-// its socket delays other miners' pushes at worst — never the share
-// verification or settle path that appended the block.
+// pushLoop serialises fan-outs on one goroutine. Fan-out only *enqueues*
+// (socket writes happen on per-connection drainers), so one stalled peer
+// never delays other miners' pushes, let alone the share verification or
+// settle path that appended the block.
 func (s *StratumServer) pushLoop() {
 	for {
 		select {
 		case <-s.pushWake:
 			s.fanOut()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// drainLoop is one drain pool worker: it runs queued conns' drainers to
+// completion. Conns re-enter drainq only on a fresh empty→non-empty
+// queue edge, so each sits in the pool at most once at a time.
+func (s *StratumServer) drainLoop() {
+	for {
+		select {
+		case c := <-s.drainq:
+			c.drainPushes()
 		case <-s.stop:
 			return
 		}
@@ -165,9 +237,10 @@ func (s *StratumServer) Addr() net.Addr {
 }
 
 // Shutdown stops accepting sessions, unsubscribes from tip events and
-// closes every live connection. TCP stratum has no close handshake — the
-// dialect's liveness story is the keepalive window — so draining is
-// simply tearing the transports down.
+// tears every live connection down. TCP stratum has no close handshake —
+// the dialect's liveness story is the keepalive window — so draining is
+// simply tearing the transports down; the parker is closed last so
+// parked entries cannot fire mid-teardown.
 func (s *StratumServer) Shutdown() {
 	open, first := s.conns.Drain()
 	if !first {
@@ -186,15 +259,19 @@ func (s *StratumServer) Shutdown() {
 		_ = ln.Close()
 	}
 	for _, c := range open {
-		_ = c.nc.Close()
+		c.teardown()
 	}
+	s.parker.Close()
 }
 
-// Drained reports whether every session goroutine has exited, waiting up
+// Drained reports whether every session has been torn down, waiting up
 // to timeout.
 func (s *StratumServer) Drained(timeout time.Duration) bool {
 	return s.conns.Drained(timeout)
 }
+
+// Parked reports how many sessions currently hold no goroutine.
+func (s *StratumServer) Parked() int64 { return s.parker.Parked() }
 
 // PushStats exposes the fan-out instruments: how many job notifications
 // tip events have pushed and the per-session delivery latency histogram.
@@ -212,31 +289,46 @@ func (s *StratumServer) PushStatsSince(c metrics.HistCursor) (pushes uint64, lat
 	return lat.Count, lat
 }
 
-// fanOut pushes the current job to every authenticated session — the
-// server-clocked half of the dialect. Latency is observed per session as
-// time since the (earliest coalesced) tip event, so the histogram's p99
-// is the fan-out tail: how long the last miners wait for fresh work
-// after a block lands.
+// fanOut queues the current job for every authenticated session — the
+// server-clocked half of the dialect. The wire bytes are minted at most
+// once per (tip × vardiff tier) by the JobWire cache; every session on
+// the same tier shares the same line. Latency is observed per session at
+// the moment its bytes hit the socket, measured since the (earliest
+// coalesced) tip event, so the histogram's p99 is the fan-out tail: how
+// long the last miners wait for fresh work after a block lands.
 func (s *StratumServer) fanOut() {
-	t0 := time.Now()
+	t0 := time.Now().UnixNano()
 	if ns := s.pendingTipNs.Swap(0); ns != 0 {
-		t0 = time.Unix(0, ns)
+		t0 = ns
 	}
+	// One wire lookup per (endpoint, slot, tier) instead of per session:
+	// mintWire takes the template shard's lock, and a 50k-session swarm
+	// spans only a few dozen distinct wires. If the tip moves mid-loop the
+	// cache serves the old tip's wire to the remaining sessions — exactly
+	// what an uncached loop part-way through its snapshot does — and the
+	// pending pushWake fans the new tip out to everyone right after.
+	type wireKey struct {
+		endpoint, slot int
+		diff           uint64
+		low            bool
+	}
+	wires := make(map[wireKey]*JobWire, 64)
+	var sent uint64
 	for _, c := range s.conns.Snapshot() {
-		if !c.pushable.Load() {
+		if !c.pushable.Load() || c.dead.Load() {
 			continue
 		}
-		if err := c.notify(stratum.TypeJob, c.ms.CurrentJob()); err != nil {
-			// A failed (or timed-out, possibly partial) push leaves the
-			// peer's line stream unusable, and retrying it would stall
-			// every later fan-out behind the same dead socket — tear the
-			// transport down; its reader goroutine untracks the session.
-			_ = c.nc.Close()
-			continue
+		ms := c.ms
+		k := wireKey{ms.endpoint, ms.slot, ms.curDiff.Load(), ms.lowDiff}
+		w := wires[k]
+		if w == nil {
+			w = ms.mintWire()
+			wires[k] = w
 		}
-		s.pushes.Inc()
-		s.pushNs.Observe(time.Since(t0))
+		sent++
+		c.enqueuePush(w.TCPLine, t0)
 	}
+	s.eng.jobsSent.Add(sent)
 }
 
 func (s *StratumServer) keepaliveWindow() time.Duration {
@@ -246,37 +338,290 @@ func (s *StratumServer) keepaliveWindow() time.Duration {
 	return 90 * time.Second
 }
 
-// serveConn runs one miner connection: track for drain, then hand it to
-// the engine behind the JSON-RPC codec.
-func (s *StratumServer) serveConn(nc net.Conn, endpoint int) {
-	defer nc.Close()
-	c := &stratumConn{
-		srv: s,
-		nc:  nc,
-		br:  bufio.NewReaderSize(nc, stratum.MaxRPCLine),
+// borrowReader hands out a pooled MaxRPCLine-sized bufio reader bound to
+// nc. Paired with putReader around every park, so buffers follow the
+// active sessions instead of pinning one per live connection.
+func (s *StratumServer) borrowReader(nc net.Conn) *bufio.Reader {
+	if v := s.readers.Get(); v != nil {
+		br := v.(*bufio.Reader)
+		br.Reset(nc)
+		return br
 	}
-	if !s.conns.Track(c) {
-		return
-	}
-	defer s.conns.Untrack(c)
-	s.eng.ServeSession(endpoint, c)
+	return bufio.NewReaderSize(nc, stratum.MaxRPCLine)
 }
 
-// stratumConn is the JSON-RPC dialect codec for one connection. The
-// engine's reader goroutine and the fan-out goroutine both write; wmu
-// serialises them.
+func (s *StratumServer) putReader(br *bufio.Reader) {
+	br.Reset(nil) // drop the conn reference while pooled
+	s.readers.Put(br)
+}
+
+// serveConn runs one miner connection: bind a session, track for drain,
+// then drive it until it parks or dies.
+func (s *StratumServer) serveConn(nc net.Conn, endpoint int) {
+	c := &stratumConn{srv: s, nc: nc}
+	c.ms = s.eng.BindSession(endpoint, c)
+	if !s.conns.Track(c) {
+		c.teardown()
+		return
+	}
+	c.runSteps(false)
+}
+
+// stratumConn is the JSON-RPC dialect codec plus per-connection push
+// queue for one miner. Three kinds of goroutine touch it: the session
+// goroutine (accept or park-resume; at most one at a time — the park
+// protocol hands off ownership), the push drainer, and whoever calls
+// teardown first.
 type stratumConn struct {
 	srv *StratumServer
 	nc  net.Conn
-	br  *bufio.Reader
+	ms  *MinerSession
 
-	wmu  sync.Mutex
-	wbuf []byte
+	// Session-goroutine state. br is nil while parked (returned to the
+	// server pool); parkDeadline is the wake-or-reap bound the parker was
+	// armed with. The parker's internal synchronisation orders the
+	// pre-park writes before the resume goroutine's reads.
+	br           *bufio.Reader
+	parkDeadline time.Time
 
-	// ms is set by Deliver before pushable is flipped; the atomic store /
-	// load pair makes the plain ms write visible to the fan-out goroutine.
-	ms       *MinerSession
+	wmu   sync.Mutex // serialises all socket writers (replies and push batches)
+	wbuf  []byte
+	iovec net.Buffers // writev scratch for push batches
+	wdlNs int64       // armed write deadline (ns since epoch), guarded by wmu
+
+	outMu    sync.Mutex
+	outq     []pushItem
+	outSpare []pushItem // double-buffer: last drained batch, recycled on swap
+	draining bool
+
 	pushable atomic.Bool
+	dead     atomic.Bool
+}
+
+// pushItem is one queued job push: a pointer into the shared per-tier
+// wire line (never mutated) plus the tip timestamp latency is measured
+// from.
+type pushItem struct {
+	line  []byte
+	tipNs int64
+}
+
+// teardown kills the connection exactly once, from whichever goroutine
+// notices death first: the session goroutine (read error, fatal engine
+// event), the push drainer (stalled or dead socket), the park timer
+// (keepalive window lapsed), or Shutdown.
+func (c *stratumConn) teardown() {
+	if !c.dead.CompareAndSwap(false, true) {
+		return
+	}
+	_ = c.nc.Close()
+	c.srv.conns.Untrack(c)
+	c.ms.Close()
+}
+
+// die is the session goroutine's teardown: it also returns the pooled
+// read buffer this goroutine owns.
+func (c *stratumConn) die() {
+	c.teardown()
+	if c.br != nil {
+		c.srv.putReader(c.br)
+		c.br = nil
+	}
+}
+
+// runSteps drives the session until it parks or dies. The first entry
+// runs on the accept goroutine; every re-entry runs on a fresh resume
+// goroutine (see onWake), so a parked session holds no stack at all.
+func (c *stratumConn) runSteps(resumed bool) {
+	if c.br == nil {
+		c.br = c.srv.borrowReader(c.nc)
+	}
+	for {
+		if resumed {
+			resumed = false
+			// The wake promised bytes (or a dead peer). Peek without
+			// consuming: a spurious wake re-parks for the remainder of the
+			// keepalive window, and a mid-line stall later still kills the
+			// connection because ReadCommand's own deadline bounds the full
+			// line.
+			if err := c.nc.SetReadDeadline(time.Now().Add(parkGrace)); err != nil {
+				c.die()
+				return
+			}
+			if _, err := c.br.Peek(1); err != nil {
+				if !isTimeout(err) || !time.Now().Before(c.parkDeadline) {
+					c.die()
+					return
+				}
+				if c.park(c.parkDeadline) {
+					return
+				}
+				// No parking available: fall through to a blocking read.
+			}
+		}
+		cmd, err := c.ReadCommand()
+		if err != nil {
+			c.die()
+			return
+		}
+		if c.srv.eng.StepDeliver(c.ms, c, cmd) {
+			c.die()
+			return
+		}
+		if c.br.Buffered() > 0 {
+			continue // a pipelined request is already in hand
+		}
+		if c.park(time.Now().Add(c.srv.keepaliveWindow())) {
+			return
+		}
+	}
+}
+
+// park releases the session's goroutine and pooled read buffer until the
+// peer sends bytes (resume) or deadline passes (reap). False means the
+// connection offers no readiness source; the caller keeps its goroutine
+// and blocking reads.
+func (c *stratumConn) park(deadline time.Time) bool {
+	if c.br.Buffered() != 0 {
+		return false // bytes already in hand; parking would strand them
+	}
+	c.parkDeadline = deadline
+	c.srv.putReader(c.br)
+	c.br = nil
+	if c.srv.parker.Park(c.nc, deadline, c.onWake, c.teardown) {
+		return true
+	}
+	c.br = c.srv.borrowReader(c.nc)
+	return false
+}
+
+// onWake resumes a parked session on its own goroutine. Resumed sessions
+// are exactly the active ones, so the goroutine count tracks activity —
+// the whole point of parking. (Running runSteps inline on the parker
+// worker would let one slow line-read starve every other resume.)
+func (c *stratumConn) onWake() { go c.runSteps(true) }
+
+// enqueuePush queues one pre-encoded push line and, on the
+// empty→non-empty edge, hands the conn to the drain pool. A full queue
+// means the peer stopped reading for dozens of chain ticks — it is torn
+// down rather than allowed to pin job lines forever.
+func (c *stratumConn) enqueuePush(line []byte, tipNs int64) {
+	c.outMu.Lock()
+	if len(c.outq) >= pushQueueCap {
+		c.outMu.Unlock()
+		c.teardown()
+		return
+	}
+	c.outq = append(c.outq, pushItem{line: line, tipNs: tipNs})
+	spawn := !c.draining
+	c.draining = true
+	c.outMu.Unlock()
+	c.srv.queueDepth.Inc()
+	if spawn {
+		select {
+		case c.srv.drainq <- c:
+		default:
+			// Pool backlogged past drainQueueCap (cannot happen at
+			// supported swarm sizes); a transient goroutine keeps the
+			// conn live rather than dropping the push.
+			go c.drainPushes()
+		}
+	}
+}
+
+// drainPushes writes queued pushes in batches until the queue stays
+// empty, then exits — the drainer only exists while there is work, so
+// push goroutines scale with in-flight fan-outs, not live sessions.
+func (c *stratumConn) drainPushes() {
+	for {
+		c.outMu.Lock()
+		if len(c.outq) == 0 {
+			c.draining = false
+			c.outMu.Unlock()
+			return
+		}
+		batch := c.outq
+		c.outq = c.outSpare[:0]
+		c.outSpare = batch
+		c.outMu.Unlock()
+		if err := c.writeBatch(batch); err != nil {
+			// A failed (or timed-out, possibly partial) push leaves the
+			// peer's line stream unusable — tear the transport down and
+			// drop whatever is still queued.
+			c.srv.queueDepth.Add(-int64(len(batch)))
+			c.teardown()
+			c.outMu.Lock()
+			c.srv.queueDepth.Add(-int64(len(c.outq)))
+			c.outq = c.outq[:0]
+			c.draining = false
+			c.outMu.Unlock()
+			return
+		}
+	}
+}
+
+// Write-deadline arming is amortised: SetWriteDeadline re-programs a
+// runtime timer (real sockets) or takes the pipe lock (memconn) — real
+// cost on a path that otherwise writes in a microsecond. Writers re-arm
+// only when the armed deadline has under writeDeadlineSlack left, so
+// back-to-back writes (a hold window's 1Hz pushes, a login's reply
+// burst) share one arming. Any single write is still bounded: a stalled
+// peer holds a writer between slack and horizon before the deadline
+// error tears it down.
+const (
+	writeDeadlineHorizon = 5 * time.Second
+	writeDeadlineSlack   = 2 * time.Second
+)
+
+// armWriteDeadlineLocked (wmu held) ensures at least writeDeadlineSlack
+// of write-deadline headroom.
+//
+//lint:hotpath
+func (c *stratumConn) armWriteDeadlineLocked(nowNs int64) error {
+	if c.wdlNs-nowNs >= int64(writeDeadlineSlack) {
+		return nil
+	}
+	dl := nowNs + int64(writeDeadlineHorizon)
+	if err := c.nc.SetWriteDeadline(time.Unix(0, dl)); err != nil {
+		return err
+	}
+	c.wdlNs = dl
+	return nil
+}
+
+// writeBatch flushes one batch of push lines with a single writev,
+// serialised against reply writes. The write deadline bounds how long a
+// stalled peer can hold the drainer. Instruments tick only after bytes
+// actually reach the socket, so push latency includes queueing.
+//
+//lint:hotpath
+func (c *stratumConn) writeBatch(batch []pushItem) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.iovec = c.iovec[:0]
+	var total uint64
+	for _, it := range batch {
+		c.iovec = append(c.iovec, it.line)
+		total += uint64(len(it.line))
+	}
+	if err := c.armWriteDeadlineLocked(time.Now().UnixNano()); err != nil {
+		return err
+	}
+	iov := c.iovec // WriteTo consumes its receiver; keep the header to recycle the array
+	//lint:ignore lockscope wmu exists to serialise writers on this socket; the write deadline above bounds the hold
+	_, err := c.iovec.WriteTo(c.nc)
+	c.iovec = iov[:0]
+	if err != nil {
+		return err
+	}
+	now := time.Now().UnixNano()
+	for _, it := range batch {
+		c.srv.pushNs.Observe(time.Duration(now - it.tipNs))
+	}
+	c.srv.pushes.Add(uint64(len(batch)))
+	c.srv.pushBytes.Add(total)
+	c.srv.queueDepth.Add(-int64(len(batch)))
+	return nil
 }
 
 // ReadCommand reads one request line. Codec failures (oversize line, bad
@@ -337,6 +682,12 @@ func (c *stratumConn) RemoteHost() string { return remoteHost(c.nc.RemoteAddr())
 // server-clocked (ServerClocked), so the only job event that can follow
 // a submit is a stale re-job — delivered as a notification behind the
 // error response, because the client's current job just died.
+//
+// The steady-state replies (keepalive ack, submit OK, job notification)
+// take alloc-free appender fast paths; anything unusual — an RPC id the
+// appenders cannot echo verbatim, a login, an error — falls back to the
+// reflective marshal path. Job notifications reuse the event's JobWire
+// bytes, so Deliver never re-encodes a job the fan-out already minted.
 func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error {
 	rawID, _ := cmd.Tag.(json.RawMessage)
 
@@ -346,16 +697,19 @@ func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 	var err error
 
 	if cmd.Kind == CmdKeepalive && len(evs) >= 1 && evs[0].Kind == EvKeepalive {
-		c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.KeepaliveResult{Status: stratum.StatusKeepalive})
-		if err != nil {
-			return err
+		if stratum.RPCIDVerbatim(rawID) {
+			c.wbuf = stratum.AppendKeepaliveOKLine(c.wbuf, rawID)
+		} else {
+			c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.KeepaliveResult{Status: stratum.StatusKeepalive})
+			if err != nil {
+				return err
+			}
 		}
 		// An idle-downstep retarget rides the keepalive that triggered it:
 		// the ack first, then the new job as a push.
 		for _, ev := range evs[1:] {
 			if ev.Kind == EvJob {
-				c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeJob, ev.Job)
-				if err != nil {
+				if c.wbuf, err = c.appendJobNotify(c.wbuf, ev); err != nil {
 					return err
 				}
 			}
@@ -375,10 +729,14 @@ func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 		})
 		responded = true
 	case cmd.Kind == CmdSubmit && len(evs) > 0 && evs[0].Kind == EvAccepted:
-		c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.SubmitResult{
-			Status: stratum.StatusOK,
-			Hashes: evs[0].Accepted.Hashes,
-		})
+		if stratum.RPCIDVerbatim(rawID) {
+			c.wbuf = stratum.AppendSubmitOKLine(c.wbuf, rawID, evs[0].Accepted.Hashes)
+		} else {
+			c.wbuf, err = stratum.AppendRPCResult(c.wbuf, rawID, stratum.SubmitResult{
+				Status: stratum.StatusOK,
+				Hashes: evs[0].Accepted.Hashes,
+			})
+		}
 		responded = true
 	case cmd.Kind == CmdSubmit && len(evs) == 1 && evs[0].Kind == EvJob && evs[0].Stale:
 		c.wbuf, err = stratum.AppendRPCError(c.wbuf, rawID, stratum.RPCStaleJob, stratum.StaleJobMessage)
@@ -407,7 +765,7 @@ func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 				// The error response above told the miner its job died (stale),
 				// or a retarget changed its difficulty mid-session; either way
 				// the replacement is pushed without waiting for the next tip.
-				c.wbuf, err = stratum.AppendRPCNotify(c.wbuf, stratum.TypeJob, ev.Job)
+				c.wbuf, err = c.appendJobNotify(c.wbuf, ev)
 			}
 		}
 		if err != nil {
@@ -420,10 +778,18 @@ func (c *stratumConn) Deliver(ms *MinerSession, cmd Command, evs []Event) error 
 
 	// A successful login makes the session part of the push fan-out.
 	if cmd.Kind == CmdOpen && ms.Authed() && !c.pushable.Load() {
-		c.ms = ms
 		c.pushable.Store(true)
 	}
 	return nil
+}
+
+// appendJobNotify writes one job notification line, preferring the
+// event's pre-encoded wire bytes over re-marshaling the job.
+func (c *stratumConn) appendJobNotify(dst []byte, ev Event) ([]byte, error) {
+	if ev.Wire != nil {
+		return append(dst, ev.Wire.TCPLine...), nil
+	}
+	return stratum.AppendRPCNotify(dst, stratum.TypeJob, ev.Job)
 }
 
 // errCode maps an engine error back to this dialect's RPC code space. An
@@ -450,28 +816,16 @@ func (c *stratumConn) flushLocked() error {
 	if len(c.wbuf) == 0 {
 		return nil
 	}
-	if err := c.nc.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+	if err := c.armWriteDeadlineLocked(time.Now().UnixNano()); err != nil {
 		return err
 	}
 	_, err := c.nc.Write(c.wbuf)
 	return err
 }
 
-// notify pushes one notification line, serialised against reply writes.
-// The short write deadline bounds how long one stalled peer can hold up
-// the fan-out loop; the caller drops the connection on failure.
-func (c *stratumConn) notify(method string, params interface{}) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	var err error
-	c.wbuf, err = stratum.AppendRPCNotify(c.wbuf[:0], method, params)
-	if err != nil {
-		return err
-	}
-	if err := c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second)); err != nil {
-		return err
-	}
-	//lint:ignore lockscope wmu exists to serialise writers on this socket; the 2s deadline above bounds the hold
-	_, err = c.nc.Write(c.wbuf)
-	return err
+// isTimeout reports whether a read error is a deadline expiry rather
+// than connection death.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

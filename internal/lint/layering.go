@@ -43,6 +43,14 @@ var DefaultLayerRules = []LayerRule{
 		Reason: "the measurement plane depends on nothing it might measure",
 	},
 	{
+		Pkg: "repro/internal/memconn", Allow: []string{},
+		Reason: "the in-memory transport is a leaf: a net.Conn stand-in with no protocol knowledge",
+	},
+	{
+		Pkg: "repro/internal/netpark", Allow: []string{},
+		Reason: "the conn parker sees readiness sources (epoll, ArmReadWaker) through local interfaces only",
+	},
+	{
 		Pkg: "repro/internal/keccak", Allow: []string{},
 		Reason: "the hash core is a leaf",
 	},

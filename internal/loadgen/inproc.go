@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/blockchain"
 	"repro/internal/coinhive"
+	"repro/internal/memconn"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 )
@@ -26,8 +27,16 @@ type InprocTarget struct {
 	Handler *coinhive.Server
 	Stratum *coinhive.StratumServer
 	srv     *http.Server
+	sln     net.Listener
+	mem     *memconn.Listener
 	tipSeq  uint32
 }
+
+// DialMem connects a stratum session over an in-memory conn — the same
+// engine and codec stack as TCPAddr, zero file descriptors. It is the
+// Config.DialTCP hook the Mem scenarios (the 10k/25k/50k scale tiers on
+// a 20k-fd box) require.
+func (t *InprocTarget) DialMem() (net.Conn, error) { return t.mem.Dial() }
 
 // InprocOptions extends StartInproc for targets that need the vardiff /
 // banscore defense layer (the hostile scenarios run against one).
@@ -136,6 +145,10 @@ func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 	go srv.Serve(ln)
 	stratumSrv := coinhive.NewStratumServer(handler.Engine())
 	go stratumSrv.Serve(sln)
+	// The same stratum front also accepts fd-less in-memory sessions
+	// (DialMem) — one engine, one accounting plane, two transports.
+	mem := memconn.Listen()
+	go stratumSrv.Serve(mem)
 
 	return &InprocTarget{
 		URL:     "ws://" + ln.Addr().String(),
@@ -144,6 +157,8 @@ func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 		Handler: handler,
 		Stratum: stratumSrv,
 		srv:     srv,
+		sln:     sln,
+		mem:     mem,
 	}, nil
 }
 
@@ -161,18 +176,23 @@ func (t *InprocTarget) AdvanceTip() {
 }
 
 // Config returns a swarm config pre-wired to this target: both dialect
-// addresses and the tip-refresh hook.
+// addresses, the in-memory dial hook and the tip-refresh hook.
 func (t *InprocTarget) Config() Config {
 	return Config{
 		URL:     t.URL,
 		TCPAddr: t.TCPAddr,
+		DialTCP: t.DialMem,
 		Refresh: t.AdvanceTip,
 	}
 }
 
-// Close drains both fronts and stops the listeners.
+// Close drains both fronts and stops the listeners. Stratum.Shutdown
+// only closes the listener its last Serve registered, so the other two
+// accept loops are released explicitly.
 func (t *InprocTarget) Close() {
 	t.Handler.Shutdown()
 	t.Stratum.Shutdown()
+	_ = t.sln.Close()
+	_ = t.mem.Close()
 	t.srv.Close()
 }

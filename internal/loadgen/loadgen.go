@@ -25,6 +25,8 @@ package loadgen
 import (
 	"errors"
 	"fmt"
+	"net"
+	"runtime"
 	"strings"
 	"time"
 
@@ -45,6 +47,25 @@ type Config struct {
 	// TCPAddr is the raw-TCP stratum listener (host:port). Required by
 	// scenarios whose Transport is "tcp" or "mixed".
 	TCPAddr string
+	// DialTCP, when set, replaces the address dial for TCP-dialect
+	// sessions: the swarm runs each stratum session over the returned
+	// conn instead of opening a socket to TCPAddr. The in-process
+	// target wires its memconn listener here, which is what lets the
+	// scale tiers exceed the box's file-descriptor budget. Only Mem
+	// scenarios use it.
+	DialTCP func() (net.Conn, error)
+	// ParkedFn, when set, is sampled at the all-parked barrier and
+	// reported as Result.ServerParked — drivers wire the stratum
+	// front's Parked gauge so each row records how many sessions the
+	// server was holding without a goroutine.
+	ParkedFn func() int64
+	// AtBarrier, when set, fires once at the all-parked barrier, before
+	// the hold window opens. Drivers use it to re-scope server-side
+	// measurement cursors so scale-row push percentiles cover only
+	// full-swarm fan-outs — ramp-phase pushes land on a partial swarm
+	// that is simultaneously burning CPU on login and share grinding,
+	// which says nothing about steady-state fan-out cost.
+	AtBarrier func()
 	// Refresh, when set, is invoked on the scenario's RefreshEvery cadence
 	// to move the target's chain tip mid-run — the event that makes the
 	// TCP dialect push jobs and both dialects field stale shares. The
@@ -54,8 +75,10 @@ type Config struct {
 	Endpoints int
 	// Sessions is the swarm size.
 	Sessions int
-	// Workers is the goroutine pool executing session turns (default
-	// 128 — the knob that decouples session count from stack count).
+	// Workers is the goroutine pool executing session turns. Zero
+	// auto-sizes from the swarm: max(128, Sessions/32) capped at 512 —
+	// the knob that decouples session count from stack count, scaled so
+	// a 50k swarm's connect phase is not serialised behind 128 stacks.
 	Workers int
 	// Scenario is the load shape.
 	Scenario Scenario
@@ -83,6 +106,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Workers == 0 {
 		c.Workers = 128
+		if w := c.Sessions / 32; w > c.Workers {
+			c.Workers = w
+		}
+		if c.Workers > 512 {
+			c.Workers = 512
+		}
 	}
 	if c.Workers > c.Sessions {
 		c.Workers = c.Sessions
@@ -123,9 +152,23 @@ type Result struct {
 	// forced; JobPushes/PushP99Ns are the server-side job-push fan-out
 	// numbers for this scenario alone (filled in by the driver, which
 	// owns the target's registry and cursors its push histogram).
+	// PushBytes and JobEncodes (also driver-filled, registry deltas)
+	// make the encode-once claim checkable per row: bytes-on-the-wire
+	// per push and distinct encodes per tip event. ServerParked is the
+	// stratum front's parked-session count at the all-parked barrier.
 	TipRefreshes uint64 `json:"tip_refreshes,omitempty"`
 	JobPushes    uint64 `json:"job_pushes,omitempty"`
 	PushP99Ns    int64  `json:"push_p99_ns,omitempty"`
+	PushBytes    uint64 `json:"push_bytes,omitempty"`
+	JobEncodes   uint64 `json:"job_encodes,omitempty"`
+	ServerParked int64  `json:"server_parked,omitempty"`
+
+	// GoroutinesAtPark samples runtime.NumGoroutine at the all-parked
+	// barrier — the minimum of a few spaced samples, so an in-flight
+	// push fan-out's transient drain goroutines don't inflate it. With
+	// an in-process target it covers client and server together; the
+	// scale gate's goroutines-per-parked-session bound is pinned on it.
+	GoroutinesAtPark int `json:"goroutines_at_park,omitempty"`
 
 	// Hostile-scenario outcomes, as observed on the client side of the
 	// wire. DuplicateCredited is the zero-duplicate-credit invariant: any
@@ -269,6 +312,27 @@ type Swarm struct {
 
 	errMu      sync.Mutex
 	errSamples []string
+
+	// goroutinesAtPark and serverParked are sampled once, at the ramp
+	// phase's all-parked barrier (see sampleGoroutines / Config.ParkedFn).
+	goroutinesAtPark int
+	serverParked     int64
+}
+
+// sampleGoroutines records the process goroutine count at the all-parked
+// barrier. A tip refresh may be fanning out at that instant — its drain
+// goroutines are transient per-write workers, not session costs — so the
+// recorded value is the minimum over a short window, long enough to fall
+// between two 1Hz refreshes.
+func (sw *Swarm) sampleGoroutines() {
+	minG := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		time.Sleep(60 * time.Millisecond)
+		if g := runtime.NumGoroutine(); g < minG {
+			minG = g
+		}
+	}
+	sw.goroutinesAtPark = minG
 }
 
 // NewSwarm validates the config and wires the instruments.
@@ -280,8 +344,11 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 	if cfg.Scenario.Name == "" {
 		return nil, fmt.Errorf("loadgen: Config.Scenario is required")
 	}
-	if t := cfg.Scenario.Transport; (t == TransportTCP || t == TransportMixed) && cfg.TCPAddr == "" {
-		return nil, fmt.Errorf("loadgen: scenario %q needs Config.TCPAddr", cfg.Scenario.Name)
+	if t := cfg.Scenario.Transport; (t == TransportTCP || t == TransportMixed) && cfg.TCPAddr == "" && cfg.DialTCP == nil {
+		return nil, fmt.Errorf("loadgen: scenario %q needs Config.TCPAddr (or Config.DialTCP)", cfg.Scenario.Name)
+	}
+	if cfg.Scenario.Mem && cfg.DialTCP == nil {
+		return nil, fmt.Errorf("loadgen: scenario %q runs over in-memory conns and needs Config.DialTCP", cfg.Scenario.Name)
 	}
 	reg := cfg.Registry
 	return &Swarm{
@@ -381,13 +448,32 @@ func (sw *Swarm) Run() (Result, error) {
 		sessions[i] = s
 	}
 
-	// Phase 1: open-loop ramp-in.
+	// Phase 1: open-loop ramp-in. The catalogue's Ramp values are sized
+	// for ~1k-session swarms; scale tiers stretch the window linearly so
+	// the arrival RATE — the thing the service actually absorbs — stays
+	// the catalogue's, however big the swarm.
+	ramp := sc.Ramp
+	if sw.cfg.Sessions > 1000 {
+		ramp = sc.Ramp * time.Duration(sw.cfg.Sessions) / 1000
+	}
 	sw.gate = newGate(len(sessions))
 	for i, s := range sessions {
-		sw.later(s, time.Duration(i)*sc.Ramp/time.Duration(len(sessions)))
+		sw.later(s, time.Duration(i)*ramp/time.Duration(len(sessions)))
 	}
 	if err := sw.await(deadline, "ramp phase"); err != nil {
 		return sw.result(start, sessions), err
+	}
+	sw.sampleGoroutines()
+	if sw.cfg.ParkedFn != nil {
+		sw.serverParked = sw.cfg.ParkedFn()
+	}
+	if sw.cfg.AtBarrier != nil {
+		sw.cfg.AtBarrier()
+	}
+	if sc.Hold > 0 {
+		// Measurement window: the whole swarm is parked, tip refreshes
+		// keep firing, and every one fans a push out to every session.
+		time.Sleep(sc.Hold)
 	}
 
 	if sc.Storm {
@@ -463,6 +549,9 @@ func (sw *Swarm) result(start time.Time, sessions []*minerSession) Result {
 		AcceptMaxNs:    int64(acc.Max),
 		ConnectP99Ns:   int64(conn.P99),
 		TipRefreshes:   sw.refreshes.Load(),
+
+		GoroutinesAtPark: sw.goroutinesAtPark,
+		ServerParked:     sw.serverParked,
 	}
 	if dur > 0 {
 		r.SharesPerSec = float64(r.SharesOK) / dur.Seconds()
@@ -665,10 +754,25 @@ func (sw *Swarm) parkKeepalive(s *minerSession) {
 	time.AfterFunc(session.KeepaliveInterval, ping)
 }
 
-// connect dials, authenticates and receives the first job.
+// connect dials, authenticates and receives the first job. A Mem
+// scenario's TCP sessions go through Config.DialTCP (the fd-less
+// in-memory transport of the scale tiers); everything else dials by URL
+// over real sockets.
 func (sw *Swarm) connect(s *minerSession) error {
 	t0 := time.Now()
-	sess, err := session.Dial(s.url, stratum.Auth{SiteKey: s.siteKey, Type: "anonymous"})
+	auth := stratum.Auth{SiteKey: s.siteKey, Type: "anonymous"}
+	var (
+		sess *session.Session
+		err  error
+	)
+	if s.tcp && sw.cfg.Scenario.Mem {
+		var nc net.Conn
+		if nc, err = sw.cfg.DialTCP(); err == nil {
+			sess, err = session.DialConn(nc, auth)
+		}
+	} else {
+		sess, err = session.Dial(s.url, auth)
+	}
 	if err != nil {
 		return err
 	}

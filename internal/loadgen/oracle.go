@@ -32,8 +32,17 @@ type Oracle struct {
 
 	mu      sync.Mutex
 	entries map[string]*oracleEntry
+	useSeq  uint64 // LRU clock for eviction, under mu
 	grinds  atomic.Uint64
 }
+
+// oracleMaxEntries bounds the grind table. Distinct PoW inputs are
+// bounded by tips seen × backends × slots during a run; without a cap a
+// long scale run under 1Hz tip refreshes grows the table forever. The
+// grind is deterministic from nonce 0, so evicting a still-referenced
+// input is safe — a session that comes back to it just pays the
+// re-grind, it never changes which (nonce, result) a sequence maps to.
+const oracleMaxEntries = 1024
 
 type oracleSolution struct {
 	nonce uint32
@@ -41,6 +50,8 @@ type oracleSolution struct {
 }
 
 type oracleEntry struct {
+	lastUse uint64 // LRU stamp, under Oracle.mu
+
 	mu   sync.Mutex
 	sols []oracleSolution
 	next uint32 // nonce the next grind resumes from
@@ -77,9 +88,14 @@ func (o *Oracle) SolveSeq(job session.Job, seq int) (uint32, [32]byte, error) {
 	o.mu.Lock()
 	e, ok := o.entries[key]
 	if !ok {
+		if len(o.entries) >= oracleMaxEntries {
+			o.evictOldestLocked()
+		}
 		e = &oracleEntry{}
 		o.entries[key] = e
 	}
+	o.useSeq++
+	e.lastUse = o.useSeq
 	o.mu.Unlock()
 
 	for {
@@ -125,6 +141,22 @@ func (o *Oracle) grind(job session.Job, start uint32) (uint32, [32]byte, error) 
 			o.maxHashes, start, job.Target)
 	}
 	return nonce, sum, nil
+}
+
+// evictOldestLocked drops the least-recently-used entry. The scan is
+// O(entries), paid only on an insert into a full table — once per
+// distinct PoW input past the cap, never per share.
+func (o *Oracle) evictOldestLocked() {
+	var oldestKey string
+	var oldest uint64
+	first := true
+	for k, e := range o.entries {
+		if first || e.lastUse < oldest {
+			first = false
+			oldestKey, oldest = k, e.lastUse
+		}
+	}
+	delete(o.entries, oldestKey)
 }
 
 // Grinds reports how many solutions were actually ground (cache misses).

@@ -82,6 +82,21 @@ type Scenario struct {
 	// specifies.
 	Malformed bool
 
+	// Hold keeps the fully-ramped swarm parked for this long before the
+	// drain, with tip refreshes still firing. This is where the scale
+	// tiers actually measure fan-out: every refresh pushes one job to
+	// the ENTIRE parked swarm, so the push p99 reflects the full tier,
+	// not whatever fraction had connected when a refresh happened to
+	// fire mid-ramp.
+	Hold time.Duration
+
+	// Mem routes the scenario's TCP sessions over in-memory conns
+	// (Config.DialTCP, wired to the in-process target's memconn
+	// listener) instead of loopback sockets. Same bytes, same codec
+	// stack, zero file descriptors — the only way a 20k-fd box can
+	// carry the 10k/25k/50k scale tiers.
+	Mem bool
+
 	// Attack picks the hostile behaviour (Attack* constants). Non-honest
 	// sessions verify the server's containment replies — an accepted
 	// duplicate, for instance, is a protocol error.
@@ -155,6 +170,20 @@ var scenarios = map[string]Scenario{
 		Turns:       2,
 		Ramp:        1 * time.Second,
 		Storm:       true,
+	},
+	"tcp-scale": {
+		Name: "tcp-scale",
+		Description: "scaling-curve tier: tens of thousands of stratum sessions over in-memory conns, " +
+			"one share each, then parked under 1Hz tip-refresh job pushes",
+		Transport: TransportTCP,
+		Mem:       true,
+		Turns:     1,
+		// Ramp is per-1000-sessions: Run stretches it linearly with the
+		// swarm size, so arrival rate (not ramp length) is what stays
+		// fixed across the 10k/25k/50k tiers.
+		Ramp:         500 * time.Millisecond,
+		RefreshEvery: time.Second,
+		Hold:         3 * time.Second,
 	},
 	"tcp-smoke": {
 		Name:        "tcp-smoke",
@@ -234,6 +263,9 @@ var scenarios = map[string]Scenario{
 func (s Scenario) TransportName() string {
 	if s.Transport == TransportWS {
 		return "ws"
+	}
+	if s.Mem {
+		return s.Transport + "+mem"
 	}
 	return s.Transport
 }

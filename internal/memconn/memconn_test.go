@@ -1,0 +1,172 @@
+package memconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	msg := []byte("hello over memory\n")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestCloseGivesEOFAfterDrain(t *testing.T) {
+	a, b := Pipe()
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("buffered bytes should survive close: %v", err)
+	}
+	if _, err := b.Read(got); err != io.EOF {
+		t.Fatalf("after drain: got %v want EOF", err)
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer should fail")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	a, _ := Pipe()
+	a.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := a.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("got %v want deadline exceeded", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error must be a net.Error timeout, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline fired far too late")
+	}
+}
+
+func TestWriteBackpressureAndDeadline(t *testing.T) {
+	a, _ := Pipe()
+	a.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	big := make([]byte, bufMax+1)
+	n, err := a.Write(big)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("got %v want deadline exceeded", err)
+	}
+	if n != bufMax {
+		t.Fatalf("wrote %d before stalling, want %d", n, bufMax)
+	}
+}
+
+func TestWriteUnblocksWhenReaderDrains(t *testing.T) {
+	a, b := Pipe()
+	big := make([]byte, bufMax+4096)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Write(big)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the writer fill and stall
+	if _, err := io.ReadAll(io.LimitReader(b, int64(len(big)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArmReadWaker(t *testing.T) {
+	a, b := Pipe()
+	var fired atomic.Int32
+	b.ArmReadWaker(func() { fired.Add(1) })
+	if fired.Load() != 0 {
+		t.Fatal("waker fired with nothing to read")
+	}
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 1 {
+		t.Fatal("waker did not fire on write")
+	}
+	if _, err := a.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 1 {
+		t.Fatal("waker is not one-shot")
+	}
+	// Arming with data already buffered fires immediately.
+	b.ArmReadWaker(func() { fired.Add(1) })
+	if fired.Load() != 2 {
+		t.Fatal("waker did not fire for already-buffered data")
+	}
+	// Close fires an armed waker.
+	buf := make([]byte, 16)
+	for i := 0; i < 2; i++ {
+		if _, err := b.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if b.rd.head < len(b.rd.buf) {
+			continue
+		}
+		break
+	}
+	b.ArmReadWaker(func() { fired.Add(1) })
+	a.Close()
+	if fired.Load() != 3 {
+		t.Fatal("waker did not fire on peer close")
+	}
+}
+
+func TestListener(t *testing.T) {
+	l := Listen()
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Error(err)
+		}
+		c.Write(buf)
+		c.Close()
+	}()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	l.Close()
+	if _, err := l.Dial(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("dial after close: got %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+//go:build linux
+
+package netpark
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+)
+
+// poller is the epoll readiness source for real sockets: one epoll fd,
+// level-triggered EPOLLONESHOT registrations (one wake per park — the
+// session re-parks explicitly), and a single wait goroutine dispatching
+// wakes onto the parker's worker pool.
+//
+// Lifetime discipline: only the wait goroutine ever closes the epoll fd.
+// If close() closed it directly, the loop's next EpollWait could land on
+// a *reused* fd number — typically the next Parker's epoll instance —
+// and silently steal its oneshot events, leaving sessions parked
+// forever. Instead close() closes the wake pipe's write end; the loop
+// sees the always-pending wake event, exits, and closes the fds it owns.
+// add/drop guard their EpollCtl calls with the closed flag under mu for
+// the same reason.
+type poller struct {
+	epfd  int
+	wakeR int // pipe read end registered in epfd; EOF = shutdown
+
+	mu     sync.Mutex
+	byFd   map[int32]*entry
+	closed bool
+
+	wakeW int // pipe write end; closing it wakes the loop, guarded by mu
+}
+
+var errPollerClosed = errors.New("netpark: poller closed")
+
+func newPoller(p *Parker) (*poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var pipefds [2]int
+	if err := syscall.Pipe2(pipefds[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		_ = syscall.Close(epfd)
+		return nil, err
+	}
+	// Level-triggered, no oneshot: the shutdown event must stay pending
+	// until the loop consumes it, however late it gets scheduled.
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(pipefds[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pipefds[0], &ev); err != nil {
+		_ = syscall.Close(epfd)
+		_ = syscall.Close(pipefds[0])
+		_ = syscall.Close(pipefds[1])
+		return nil, err
+	}
+	pl := &poller{epfd: epfd, wakeR: pipefds[0], wakeW: pipefds[1], byFd: map[int32]*entry{}}
+	go pl.loop(p)
+	return pl, nil
+}
+
+// add registers e's connection for one readability wake. The byFd slot
+// and the epoll_ctl happen under one lock so a wake racing the
+// registration always finds its entry, and so no registration can land
+// on an epfd the loop has already closed.
+func (pl *poller) add(e *entry, sc syscall.Conn) error {
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	ctlErr := errors.New("netpark: control not run")
+	err = rc.Control(func(f uintptr) {
+		fd := int32(f)
+		e.fd.Store(fd)
+		ev := syscall.EpollEvent{
+			Events: uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT),
+			Fd:     fd,
+		}
+		pl.mu.Lock()
+		defer pl.mu.Unlock()
+		if pl.closed {
+			ctlErr = errPollerClosed
+			return
+		}
+		pl.byFd[fd] = e
+		ctlErr = syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_ADD, int(f), &ev)
+		if ctlErr == syscall.EEXIST {
+			// The fd was parked before (oneshot leaves the registration
+			// disarmed); re-arm it.
+			ctlErr = syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_MOD, int(f), &ev)
+		}
+		if ctlErr != nil {
+			if pl.byFd[fd] == e {
+				delete(pl.byFd, fd)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return ctlErr
+}
+
+// drop forgets a timed-out entry's registration. The byFd identity check
+// guards against fd reuse: if the connection closed while parked (the
+// kernel then purged its registration) and the fd number was re-parked by
+// a newer connection, the slot belongs to that entry and stays.
+func (pl *poller) drop(e *entry) {
+	fd := e.fd.Load()
+	pl.mu.Lock()
+	if pl.byFd[fd] == e {
+		delete(pl.byFd, fd)
+		if !pl.closed {
+			var ev syscall.EpollEvent
+			_ = syscall.EpollCtl(pl.epfd, syscall.EPOLL_CTL_DEL, int(fd), &ev)
+		}
+	}
+	pl.mu.Unlock()
+}
+
+func (pl *poller) loop(p *Parker) {
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(pl.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			pl.shutdownFds()
+			return
+		}
+		stop := false
+		for i := 0; i < n; i++ {
+			fd := events[i].Fd
+			if fd == int32(pl.wakeR) {
+				// Shutdown wake. Finish dispatching this batch first —
+				// the conn events in it were consumed (oneshot) and
+				// would otherwise be lost.
+				stop = true
+				continue
+			}
+			pl.mu.Lock()
+			e := pl.byFd[fd]
+			delete(pl.byFd, fd)
+			pl.mu.Unlock()
+			if e != nil {
+				p.wake(e)
+			}
+		}
+		if stop {
+			pl.shutdownFds()
+			return
+		}
+	}
+}
+
+// shutdownFds releases the fds the loop owns. Under mu so an in-flight
+// add/drop that already passed its closed check finishes its EpollCtl
+// before the epfd dies.
+func (pl *poller) shutdownFds() {
+	pl.mu.Lock()
+	pl.closed = true // loop exit without close(): make add/drop stop either way
+	_ = syscall.Close(pl.epfd)
+	_ = syscall.Close(pl.wakeR)
+	pl.mu.Unlock()
+}
+
+// close asks the loop to shut down: mark the poller closed so no new
+// registration lands, then close the wake pipe's write end — EOF makes
+// the read end readable, a level-triggered event the loop cannot miss no
+// matter how late it runs. The loop closes the epoll fd itself, so its
+// number cannot be reused out from under a pending EpollWait.
+func (pl *poller) close() {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return
+	}
+	pl.closed = true
+	wakeW := pl.wakeW
+	pl.wakeW = -1
+	pl.mu.Unlock()
+	_ = syscall.Close(wakeW)
+}

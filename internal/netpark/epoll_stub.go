@@ -1,0 +1,23 @@
+//go:build !linux
+
+package netpark
+
+import (
+	"errors"
+	"syscall"
+)
+
+// poller is unavailable off linux: real-socket parks fall back to the
+// caller's dedicated goroutine (Park returns false). In-memory conns
+// (ArmReadWaker) park everywhere.
+type poller struct{}
+
+func newPoller(*Parker) (*poller, error) { return nil, nil }
+
+func (*poller) add(*entry, syscall.Conn) error {
+	return errors.New("netpark: no poller on this platform")
+}
+
+func (*poller) drop(*entry) {}
+
+func (*poller) close() {}

@@ -17,6 +17,7 @@ package session
 import (
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"time"
 
@@ -153,6 +154,21 @@ func Dial(url string, auth stratum.Auth) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := &Session{Transport: t}
+	if err := s.Send(stratum.TypeAuth, auth); err != nil {
+		_ = t.Abort()
+		return nil, err
+	}
+	return s, nil
+}
+
+// DialConn starts a TCP-stratum session over an already-established
+// net.Conn and sends the auth message, exactly as Dial("tcp://...")
+// would. It exists for transports that are not dialed by address — the
+// load generator's in-memory conns, which carry the 10k+ scale tiers a
+// 20k-fd box cannot reach over real sockets.
+func DialConn(nc net.Conn, auth stratum.Auth) (*Session, error) {
+	t := newTCPTransport(nc)
 	s := &Session{Transport: t}
 	if err := s.Send(stratum.TypeAuth, auth); err != nil {
 		_ = t.Abort()

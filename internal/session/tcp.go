@@ -45,10 +45,14 @@ func dialTCP(addr string) (*tcpTransport, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newTCPTransport(nc), nil
+}
+
+func newTCPTransport(nc net.Conn) *tcpTransport {
 	return &tcpTransport{
 		nc: nc,
 		br: bufio.NewReaderSize(nc, stratum.MaxRPCLine),
-	}, nil
+	}
 }
 
 func (t *tcpTransport) Send(msgType string, params interface{}, deadline time.Time) error {

@@ -38,6 +38,12 @@ type Conn struct {
 	closeMu   sync.Mutex
 	closed    bool
 	sentClose bool
+
+	// reuseRead makes ReadMessage decode frames into a per-connection
+	// buffer instead of allocating per frame (see EnableReadBufferReuse).
+	reuseRead bool
+	rframe    Frame
+	rbuf      []byte
 }
 
 func newConn(nc net.Conn, br *bufio.Reader, client bool) *Conn {
@@ -49,6 +55,14 @@ func newConn(nc net.Conn, br *bufio.Reader, client bool) *Conn {
 
 // SetMaxMessage bounds the assembled message size in bytes.
 func (c *Conn) SetMaxMessage(n int64) { c.maxMsg = n }
+
+// EnableReadBufferReuse switches ReadMessage to a per-connection read
+// buffer: the returned payload is then only valid until the next
+// ReadMessage call. The pool's serve path opts in (it fully decodes each
+// message before reading the next), which keeps a 10k-session box from
+// allocating one fresh payload per inbound frame. Callers that retain
+// payloads across reads must not enable it.
+func (c *Conn) EnableReadBufferReuse() { c.reuseRead = true }
 
 // SetReadDeadline bounds future reads; a zero time removes the bound.
 // Load generators use it so a stalled peer parks a session instead of a
@@ -87,6 +101,21 @@ func (c *Conn) WriteMessage(op Opcode, data []byte) error {
 		return ErrClosed
 	}
 	return WriteFrame(c.nc, f)
+}
+
+// WriteRawFrame sends bytes that are already a complete encoded frame
+// (built by AppendServerFrame). The fan-out path uses it to hand many
+// sessions one immutable pre-encoded job push; the frame bytes are
+// written as-is, so only server (unmasked) frames may be sent this way.
+func (c *Conn) WriteRawFrame(frame []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	//lint:ignore lockscope writeMu exists to serialise frame writers on this socket
+	_, err := c.nc.Write(frame)
+	return err
 }
 
 // WriteFragmented sends data split into chunks of fragSize as a fragmented
@@ -139,7 +168,14 @@ func (c *Conn) ReadMessage() (Opcode, []byte, error) {
 	var msg []byte
 	assembling := false
 	for {
-		f, err := ReadFrame(c.br, c.maxMsg)
+		var f *Frame
+		var err error
+		if c.reuseRead {
+			f = &c.rframe
+			c.rbuf, err = ReadFrameInto(c.br, f, c.maxMsg, c.rbuf[:0])
+		} else {
+			f, err = ReadFrame(c.br, c.maxMsg)
+		}
 		if err != nil {
 			// A frame-level protocol violation (oversize or fragmented
 			// control frame, reserved bits, non-minimal length) must be

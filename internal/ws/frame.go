@@ -139,64 +139,102 @@ func WriteFrame(w io.Writer, f *Frame) error {
 // payload size (0 means unlimited). Masked payloads are unmasked before
 // returning.
 func ReadFrame(r io.Reader, maxPayload int64) (*Frame, error) {
-	var hdr [2]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	f := &Frame{}
+	if _, err := ReadFrameInto(r, f, maxPayload, nil); err != nil {
 		return nil, err
 	}
-	f := &Frame{
-		Fin:    hdr[0]&0x80 != 0,
-		Opcode: Opcode(hdr[0] & 0x0F),
-		Masked: hdr[1]&0x80 != 0,
+	return f, nil
+}
+
+// ReadFrameInto decodes one frame from r into f, reading the payload into
+// buf's capacity (growing it when needed) instead of allocating per frame.
+// It returns the possibly-grown buffer; f.Payload aliases it. This is the
+// serve path's read primitive: one long-lived buffer per connection makes
+// the steady-state ReadMessage loop allocation-free.
+func ReadFrameInto(r io.Reader, f *Frame, maxPayload int64, buf []byte) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, err
 	}
+	f.Fin = hdr[0]&0x80 != 0
+	f.Opcode = Opcode(hdr[0] & 0x0F)
+	f.Masked = hdr[1]&0x80 != 0
+	f.Payload = nil
 	if hdr[0]&0x70 != 0 {
-		return nil, ErrReservedBits
+		return buf, ErrReservedBits
 	}
 	length := int64(hdr[1] & 0x7F)
 	switch length {
 	case 126:
 		var ext [2]byte
 		if _, err := io.ReadFull(r, ext[:]); err != nil {
-			return nil, err
+			return buf, err
 		}
 		length = int64(binary.BigEndian.Uint16(ext[:]))
 		if length < 126 {
-			return nil, ErrBadLength
+			return buf, ErrBadLength
 		}
 	case 127:
 		var ext [8]byte
 		if _, err := io.ReadFull(r, ext[:]); err != nil {
-			return nil, err
+			return buf, err
 		}
 		u := binary.BigEndian.Uint64(ext[:])
 		if u>>63 != 0 || u < 1<<16 {
-			return nil, ErrBadLength
+			return buf, ErrBadLength
 		}
 		length = int64(u)
 	}
 	if f.Opcode.IsControl() {
 		if length > 125 {
-			return nil, ErrControlTooLong
+			return buf, ErrControlTooLong
 		}
 		if !f.Fin {
-			return nil, ErrFragmentedControl
+			return buf, ErrFragmentedControl
 		}
 	}
 	if maxPayload > 0 && length > maxPayload {
-		return nil, ErrFrameTooBig
+		return buf, ErrFrameTooBig
 	}
 	if f.Masked {
 		if _, err := io.ReadFull(r, f.MaskKey[:]); err != nil {
-			return nil, err
+			return buf, err
 		}
 	}
-	f.Payload = make([]byte, length)
-	if _, err := io.ReadFull(r, f.Payload); err != nil {
-		return nil, err
+	if int64(cap(buf)) < length {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, err
 	}
 	if f.Masked {
-		MaskBytes(f.MaskKey, 0, f.Payload)
+		MaskBytes(f.MaskKey, 0, buf)
 	}
-	return f, nil
+	f.Payload = buf
+	return buf, nil
+}
+
+// AppendServerFrame appends one complete server-to-client (unmasked, FIN)
+// frame — header plus payload — to dst. Prebuilding the frame this way is
+// what lets a job push be encoded once and fanned out to every ws session
+// as the same immutable byte slice (see Conn.WriteRawFrame).
+//
+//lint:hotpath
+func AppendServerFrame(dst []byte, op Opcode, payload []byte) []byte {
+	b0 := 0x80 | byte(op)
+	l := len(payload)
+	switch {
+	case l < 126:
+		dst = append(dst, b0, byte(l))
+	case l < 1<<16:
+		dst = append(dst, b0, 126, byte(l>>8), byte(l))
+	default:
+		dst = append(dst, b0, 127,
+			byte(uint64(l)>>56), byte(uint64(l)>>48), byte(uint64(l)>>40), byte(uint64(l)>>32),
+			byte(l>>24), byte(l>>16), byte(l>>8), byte(l))
+	}
+	return append(dst, payload...)
 }
 
 // EncodeClosePayload builds a close frame payload from a status code and
