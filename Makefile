@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke load-hostile load-scale
+.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke load-hostile load-scale load-api
 
 all: build vet test-short
 
@@ -43,6 +43,7 @@ check:
 	$(MAKE) load-smoke
 	$(MAKE) load-hostile
 	$(MAKE) load-scale
+	$(MAKE) load-api
 
 # Live-service gate (≈10s): both transports — 500 concurrent ws miner
 # sessions, then 500 concurrent raw-TCP stratum sessions — against an
@@ -68,8 +69,20 @@ load-hostile:
 load-scale:
 	$(GO) run ./cmd/loadd -scale-smoke
 
+# Observability gate (≈15s): a "mixed" run fixes the no-archive submit
+# p99 baseline, then api-readers — the same swarm shape plus 8 HTTP
+# clients paging /api/v1 — runs against a file-backed archived target.
+# Fails on any failed query (non-200, transport error, broken cursor),
+# a query p99 over the responsiveness bound, silent archive instruments,
+# or a submit p99 beyond the stall tripwire (4× the no-archive
+# baseline, 100ms floor — loose by design: the readers are real CPU
+# load, while a blocking archive would overshoot by orders of magnitude).
+load-api:
+	$(GO) run ./cmd/loadd -api-smoke
+
 # Full load-scenario catalogue (ws: steady/churn/storm/slow/malformed/
-# smoke; tcp: tcp-steady/tcp-storm/tcp-smoke; both: mixed) at swarm
+# smoke; tcp: tcp-steady/tcp-storm/tcp-smoke; both: mixed, the hostile
+# set and api-readers with its query p50/p99 columns) at swarm
 # scale, plus the 10k/25k/50k tcp-scale tiers; writes the trajectory
 # point to BENCH_load.json, including the server-side job-push fan-out
 # p99 for the server-clocked scenarios and the scaling-curve telemetry

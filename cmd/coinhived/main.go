@@ -9,6 +9,7 @@
 //	coinhived -vardiff 240 -vardiff-min 16 -vardiff-max 65536   # per-session retargeting
 //	coinhived -ban-threshold 100 -ban-duration 10m -login-rate 2  # abuse containment
 //	coinhived -pprof-addr 127.0.0.1:6060   # opt-in net/http/pprof on its own listener
+//	coinhived -archive-dir ./archive -api  # durable event archive + stats API on /api/v1
 //	coinhived -smoke        # boot the service, serve one stats request, exit
 //
 // Endpoints:
@@ -20,6 +21,7 @@
 //	/cn/{id}                      short-link interstitial
 //	/api/link/create              POST {token,url,hashes}
 //	/api/stats                    pool statistics
+//	/api/v1/...                   archived-history stats API (-api)
 //	/metrics                      instrument exposition (?format=json)
 //
 // Both fronts drive one miner-session engine, so /metrics and /api/stats
@@ -46,9 +48,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/blockchain"
 	"repro/internal/coinhive"
+	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/statsapi"
 )
 
 func main() {
@@ -77,6 +82,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	banByIP := fs.Bool("ban-by-ip", false, "also score and ban by remote IP, not just site key")
 	loginRate := fs.Float64("login-rate", 0, "sustained logins/sec per identity when banning is on (0: default 5)")
 	submitRate := fs.Float64("submit-rate", 0, "sustained submits/sec per identity when banning is on (0: default 20)")
+	archiveDir := fs.String("archive-dir", "", `append-only event archive directory ("" disables archiving to disk)`)
+	archiveRetention := fs.Int("archive-retention", 64, "archive segments kept; rotation unlinks the oldest beyond this (0 keeps all)")
+	apiOn := fs.Bool("api", false, "serve the stats API on /api/v1 (backed by -archive-dir, or an in-memory ring without it)")
 	smoke := fs.Bool("smoke", false, "serve one stats request on an ephemeral port, then exit")
 	pprofAddr := fs.String("pprof-addr", "", `serve net/http/pprof on this address ("" disables; keep it loopback/firewalled)`)
 	if err := fs.Parse(args); err != nil {
@@ -110,10 +118,40 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The archive store backs both event durability (-archive-dir) and
+	// the stats API (-api); with -api alone an in-memory ring holds
+	// recent history. The recorder shares the pool's registry so the
+	// pool.archive_* instruments land in /metrics.
+	reg := metrics.NewRegistry()
+	var store archive.Store
+	if *archiveDir != "" {
+		fstore, err := archive.OpenFileStore(*archiveDir, archive.FileStoreOptions{
+			MaxSegments: *archiveRetention,
+		})
+		if err != nil {
+			return err
+		}
+		store = fstore
+		fmt.Fprintf(out, "coinhived: archiving events to %s (retention %d segments)\n",
+			*archiveDir, *archiveRetention)
+	} else if *apiOn {
+		store = archive.NewMemStore(1 << 16)
+		fmt.Fprintln(out, "coinhived: stats API backed by in-memory ring (set -archive-dir for durable history)")
+	}
+	var recorder *archive.Recorder
+	if store != nil {
+		recorder = archive.NewRecorder(store, reg, 0)
+		// Close drains the queue and fsyncs, so events recorded before
+		// shutdown survive into the next -from-archive replay.
+		defer recorder.Close()
+	}
+
 	pool, err := coinhive.NewPool(coinhive.PoolConfig{
 		Chain:               chain,
 		Wallet:              blockchain.AddressFromString("coinhive-wallet"),
 		Clock:               simclock.Real(),
+		Metrics:             reg,
+		Archive:             recorder,
 		ShareDifficulty:     *shareDiff,
 		LinkShareDifficulty: *linkDiff,
 		Vardiff: coinhive.VardiffConfig{
@@ -139,6 +177,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "coinhived: banscore on — threshold %d, bans last %s\n", *banThreshold, *banDuration)
 	}
 	handler := coinhive.NewServer(pool)
+	if *apiOn {
+		handler.AttachAPI(statsapi.New(store, reg, statsapi.Options{}))
+		fmt.Fprintln(out, "coinhived: stats API on /api/v1")
+	}
 
 	if *smoke {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	loadd -smoke                              # CI gate: 500 ws + 500 TCP sessions, zero protocol errors
+//	loadd -api-smoke                          # CI gate: api-readers page /api/v1 while the swarm mines
 //	loadd -scenario all -out BENCH_load.json  # full catalogue against an in-process service
 //	loadd -target ws://host:8080 -target-tcp host:3333 -scenario tcp-steady -sessions 2000
 //
@@ -29,6 +30,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/cryptonight"
 	"repro/internal/loadgen"
 	"repro/internal/metrics"
@@ -69,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	outFile := fs.String("out", "", "write the JSON report here")
 	smoke := fs.Bool("smoke", false, "CI gate: in-process smoke over both transports, assert full concurrency and zero protocol errors")
 	hostileSmoke := fs.Bool("hostile-smoke", false, "CI gate: steady baseline then mixed-hostile against a defended in-process target; assert containment, vardiff convergence and the honest-latency bound")
+	apiSmoke := fs.Bool("api-smoke", false, "CI gate: steady baseline then api-readers against an archived in-process target; assert zero API errors, the query-latency bound and an unperturbed submit p99")
 	scale := fs.Bool("scale", false, "append the 10k/25k/50k tcp-scale tiers (in-memory conns) to the report")
 	scaleSmoke := fs.Bool("scale-smoke", false, "CI gate: tcp-scale at 1k then 10k sessions; assert zero protocol errors, bounded fan-out p99 and the goroutine diet")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run here (pprof)")
@@ -113,6 +116,18 @@ func run(args []string, out io.Writer) error {
 		if !sessionsSet {
 			*sessions = 300
 		}
+	} else if *apiSmoke {
+		// The observability gate. The baseline is "mixed" — the same
+		// transport blend, turn count and tip-refresh cadence as
+		// api-readers, minus the archive and the readers — so the submit
+		// p99 comparison isolates exactly what the gate is about: the
+		// archive hook plus reader contention, not push fan-out cost.
+		// Then api-readers pages the stats API while the same-size swarm
+		// mines against the archived target; assertAPI checks zero API
+		// errors, the query p99 bound, the archive instruments and the
+		// unperturbed submit tail.
+		names = []string{"mixed", "api-readers"}
+		*target = ""
 	} else if *scaleSmoke {
 		// The scale gate needs nothing from the catalogue loop except the
 		// two tcp-scale tiers appended below.
@@ -210,6 +225,22 @@ func run(args []string, out io.Writer) error {
 			defended.Close()
 		}
 	}()
+	// The archived target (file-backed event archive + stats API on
+	// /api/v1) is likewise booted lazily, only for Archived scenarios,
+	// with its own registry so the pool.archive_* / server.api_*
+	// instruments delta cleanly. Its archive directory is scratch: the
+	// gate measures durability cost, not the history itself.
+	archReg := metrics.NewRegistry()
+	var archived *loadgen.InprocTarget
+	var archivedDir string
+	defer func() {
+		if archived != nil {
+			archived.Close()
+		}
+		if archivedDir != "" {
+			os.RemoveAll(archivedDir)
+		}
+	}()
 	var baselineP99 int64 // steady accept p99, the hostile gate's yardstick
 	for _, spec := range specs {
 		name := spec.name
@@ -249,11 +280,44 @@ func run(args []string, out io.Writer) error {
 			}
 			runURL, runTCP, runRefresh, runTarget = defended.URL, defended.TCPAddr, defended.AdvanceTip, defended
 		}
+		if sc.Archived {
+			if *target != "" {
+				// A remote target's archive/API wiring is unknown; the
+				// Archived scenarios assert instrument behaviour, so they
+				// only run against a target this process configured.
+				fmt.Fprintf(out, "loadd: skipping %s (archived scenarios need the in-process archived target; drop -target)\n", name)
+				continue
+			}
+			if archived == nil {
+				archivedDir, err = os.MkdirTemp("", "loadd-archive-")
+				if err != nil {
+					return err
+				}
+				store, err := archive.OpenFileStore(archivedDir, archive.FileStoreOptions{})
+				if err != nil {
+					return err
+				}
+				archived, err = loadgen.StartInprocOpts(loadgen.InprocOptions{
+					ShareDifficulty: *shareDiff,
+					Registry:        archReg,
+					Archive:         store,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "loadd: archived coinhived on %s (stratum %s, file-backed archive + stats API on)\n",
+					archived.URL, archived.TCPAddr)
+			}
+			runURL, runTCP, runRefresh, runTarget = archived.URL, archived.TCPAddr, archived.AdvanceTip, archived
+		}
 		// The target's registry is cumulative across scenarios; deltas
 		// scope its server-side counters to this row.
 		srvReg := poolReg
 		if sc.Defended {
 			srvReg = defReg
+		}
+		if sc.Archived {
+			srvReg = archReg
 		}
 		var pushCursor metrics.HistCursor
 		var srvBefore map[string]uint64
@@ -275,6 +339,7 @@ func run(args []string, out io.Writer) error {
 		}
 		if runTarget != nil {
 			cfg.DialTCP = runTarget.DialMem
+			cfg.HTTPURL = runTarget.HTTPURL()
 			st := runTarget.Stratum
 			cfg.ParkedFn = func() int64 { return st.Parked() }
 			if sc.Mem {
@@ -331,6 +396,22 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "loadd: %-10s scale: server_parked=%d goroutines_at_park=%d job_encodes=%d bytes/push=%d\n",
 				res.Scenario, res.ServerParked, res.GoroutinesAtPark, res.JobEncodes, bytesPerPush)
 		}
+		if sc.APIReaders > 0 {
+			after := counterValues(archReg)
+			delta := func(name string) uint64 { return after[name] - srvBefore[name] }
+			fmt.Fprintf(out, "loadd: %-10s api: queries=%d errors=%d query p50=%s p99=%s | archive appends=%d dropped=%d fsyncs=%d api_requests=%d\n",
+				res.Scenario, res.APIQueries, res.APIErrors,
+				time.Duration(res.APIQueryP50Ns), time.Duration(res.APIQueryP99Ns),
+				delta("pool.archive_appends"), delta("pool.archive_dropped"),
+				delta("pool.archive_fsyncs"), delta("server.api_requests"))
+			if *apiSmoke {
+				if err := assertAPI(res, baselineP99, delta); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "loadd: api-readers OK — %d queries answered clean, query p99 %s, submit p99 within the stall tripwire\n",
+					res.APIQueries, time.Duration(res.APIQueryP99Ns))
+			}
+		}
 		if sc.Attack != loadgen.AttackNone {
 			fmt.Fprintf(out, "loadd: %-10s contained: banned=%d (srv %d) dup_rejected=%d dup_credited=%d rate_limited=%d stale_flood=%d retargets=%d honest=%d cadence=%.0f/min @diff=%d\n",
 				res.Scenario, res.SessionsBanned, res.SrvBans, res.RejectedDuplicate, res.DuplicateCredited,
@@ -345,10 +426,11 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "loadd: %s OK — %d concurrent %s sessions sustained, zero protocol errors\n",
 				res.Scenario, res.EndConcurrent, res.Transport)
 		}
+		if (*hostileSmoke && name == "steady") || (*apiSmoke && name == "mixed") {
+			baselineP99 = res.AcceptP99Ns
+		}
 		if *hostileSmoke {
 			switch name {
-			case "steady":
-				baselineP99 = res.AcceptP99Ns
 			case "mixed-hostile":
 				if err := assertHostile(res, baselineP99); err != nil {
 					return err
@@ -433,6 +515,59 @@ func assertHostile(res loadgen.Result, baselineP99 int64) error {
 	if bound := histBucketCeil(2*baselineP99 + int64(5*time.Millisecond)); baselineP99 > 0 && res.AcceptP99Ns > bound {
 		return fmt.Errorf("hostile: honest accept p99 %s exceeds 2× steady baseline %s (+5ms floor, bucket-ceiled to %s)",
 			time.Duration(res.AcceptP99Ns), time.Duration(baselineP99), time.Duration(bound))
+	}
+	return nil
+}
+
+// assertAPI is the observability gate: the stats API must have answered
+// every reader page clean (no 5xx, no transport failure, no broken
+// cursor) with a bounded query tail, the archive instruments must show
+// events really flowed to disk (appends and fsyncs non-zero, since the
+// archived target is file-backed), and — the perturbation bound the
+// tentpole's non-blocking hook exists for — the miners' accept p99 must
+// stay within 2× the no-archive steady baseline (+5ms scheduler floor,
+// compared at the histogram's power-of-2 bucket resolution like the
+// hostile gate).
+func assertAPI(res loadgen.Result, baselineP99 int64, srvDelta func(string) uint64) error {
+	if res.ProtocolErrors != 0 {
+		return fmt.Errorf("api: %d protocol errors: %v", res.ProtocolErrors, res.ErrorSamples)
+	}
+	if res.APIErrors != 0 {
+		return fmt.Errorf("api: %d failed stats-API queries: %v", res.APIErrors, res.ErrorSamples)
+	}
+	if res.APIQueries == 0 {
+		return fmt.Errorf("api: readers issued no queries (stats API unreachable?)")
+	}
+	if bound := histBucketCeil(int64(100 * time.Millisecond)); res.APIQueryP99Ns > bound {
+		return fmt.Errorf("api: query p99 %s exceeds the %s responsiveness bound",
+			time.Duration(res.APIQueryP99Ns), time.Duration(bound))
+	}
+	// The submit-tail tripwire targets order-of-magnitude perturbation —
+	// the failure mode where archiving leaks synchronous I/O into the
+	// submit path (the Recorder is non-blocking by construction, so any
+	// such stall is a bug, not backpressure). It is NOT a tight ratio:
+	// the readers are real CPU load sharing one box with the swarm, so
+	// the whole accept distribution legitimately shifts under them (the
+	// p50 moves too — scheduler contention, not archive cost), and both
+	// sides of a ratio are power-of-2 bucketed, which makes a 2× bound
+	// flap one bucket either way. Hence 4× the no-archive baseline with
+	// a 100ms absolute floor, bucket-ceiled.
+	allowed := 4*baselineP99 + int64(5*time.Millisecond)
+	if floor := int64(100 * time.Millisecond); allowed < floor {
+		allowed = floor
+	}
+	if bound := histBucketCeil(allowed); baselineP99 > 0 && res.AcceptP99Ns > bound {
+		return fmt.Errorf("api: submit p99 %s exceeds 4× the no-archive baseline %s (100ms floor, bucket-ceiled to %s) — archiving is leaking synchronous work into the submit path",
+			time.Duration(res.AcceptP99Ns), time.Duration(baselineP99), time.Duration(bound))
+	}
+	if srvDelta("pool.archive_appends") == 0 {
+		return fmt.Errorf("api: pool.archive_appends is zero — no events reached the archive")
+	}
+	if srvDelta("pool.archive_fsyncs") == 0 {
+		return fmt.Errorf("api: pool.archive_fsyncs is zero — the file-backed archive never synced")
+	}
+	if srvDelta("server.api_requests") == 0 {
+		return fmt.Errorf("api: server.api_requests is zero — reader queries bypassed the stats API")
 	}
 	return nil
 }

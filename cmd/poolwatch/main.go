@@ -6,6 +6,7 @@
 //
 //	poolwatch [-days 28] [-seed 2018] [-tick 2s]
 //	poolwatch -ensemble 4       # four independent 28-day campaigns in parallel
+//	poolwatch -from-archive DIR # replay attribution from a coinhived event archive
 package main
 
 import (
@@ -15,9 +16,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/archive"
 	"repro/internal/experiments"
 	"repro/internal/poolwatch"
 )
@@ -37,8 +40,13 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 2018, "simulation seed")
 	tick := fs.Duration("tick", 2*time.Second, "tip-change check interval (virtual)")
 	ensemble := fs.Int("ensemble", 0, "run N independent 28-day campaigns on a worker pool")
+	fromArchive := fs.String("from-archive", "", "replay attribution from this coinhived -archive-dir instead of simulating")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *fromArchive != "" {
+		return replayArchive(*fromArchive, out)
 	}
 
 	if *ensemble > 0 {
@@ -90,5 +98,53 @@ func run(args []string, out io.Writer) error {
 		st.Polls, st.PollFailures, st.MaxInputsPerPrev)
 	fmt.Fprintf(out, "attributed %d blocks over %d days (%.2f/day)\n",
 		st.Attributed, *days, float64(st.Attributed)/float64(*days))
+	return nil
+}
+
+// replayArchive reruns attribution from a file-backed event archive:
+// the paper's pipeline over durable history instead of live polling.
+// Opening the store performs the same torn-tail recovery the daemon
+// would, so a crash-cut archive replays cleanly.
+func replayArchive(dir string, out io.Writer) error {
+	store, err := archive.OpenFileStore(dir, archive.FileStoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	res, err := archive.Replay(store)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replayed %d events: %d accepted, %d stale, %d duplicate, %d rejected shares; %d retargets; chain height %d\n",
+		res.Events, res.SharesAccepted, res.SharesStale, res.SharesDuplicate,
+		res.SharesRejected, res.Retargets, res.ChainHeight)
+	fmt.Fprintf(out, "blocks found: %d\n", len(res.Blocks))
+	for _, b := range res.Blocks {
+		fmt.Fprintf(out, "  height %d  ts %d  backend %d  reward %d\n",
+			b.Height, b.Timestamp, b.Backend, b.Reward)
+	}
+	tokens := make([]string, 0, len(res.Credit))
+	for token := range res.Credit {
+		tokens = append(tokens, token)
+	}
+	// Rank by credited work, the paper's per-site prevalence ordering.
+	sort.Slice(tokens, func(i, j int) bool {
+		if res.Credit[tokens[i]] != res.Credit[tokens[j]] {
+			return res.Credit[tokens[i]] > res.Credit[tokens[j]]
+		}
+		return tokens[i] < tokens[j]
+	})
+	fmt.Fprintf(out, "accounts credited: %d\n", len(tokens))
+	const top = 20
+	for i, token := range tokens {
+		if i == top {
+			fmt.Fprintf(out, "  … %d more\n", len(tokens)-top)
+			break
+		}
+		fmt.Fprintf(out, "  %-24s hashes %-12d paid %d\n", token, res.Credit[token], res.Paid[token])
+	}
+	if len(res.Bans) > 0 {
+		fmt.Fprintf(out, "bans: %d\n", len(res.Bans))
+	}
 	return nil
 }

@@ -1,0 +1,131 @@
+package archive
+
+import (
+	"repro/internal/metrics"
+)
+
+// Recorder is the bridge between the pool's hot paths and a Store: a
+// bounded queue drained by one background goroutine. Record never
+// blocks — when the queue is full the event is dropped and counted in
+// pool.archive_dropped — so a slow disk can cost history, never
+// submit-path latency. Appends are batched and each drained batch gets
+// one Sync, counted in pool.archive_fsyncs.
+type Recorder struct {
+	store Store
+	ch    chan Event
+	flush chan chan struct{}
+	done  chan struct{}
+	dead  chan struct{} // closed when the drain goroutine exits
+
+	pending bool // appended since the last sync (drain goroutine only)
+
+	appends *metrics.Counter
+	dropped *metrics.Counter
+	fsyncs  *metrics.Counter
+}
+
+// DefaultQueueDepth bounds the Record queue: deep enough to absorb a
+// settle burst (one payout event per account), shallow enough that a
+// wedged disk cannot pin unbounded memory.
+const DefaultQueueDepth = 4096
+
+// NewRecorder wires a Store behind a bounded queue and starts the
+// drain goroutine. reg receives the pool.archive_* instruments (nil
+// for a private registry); depth <= 0 selects DefaultQueueDepth.
+func NewRecorder(store Store, reg *metrics.Registry, depth int) *Recorder {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r := &Recorder{
+		store:   store,
+		ch:      make(chan Event, depth),
+		flush:   make(chan chan struct{}),
+		done:    make(chan struct{}),
+		dead:    make(chan struct{}),
+		appends: reg.Counter("pool.archive_appends"),
+		dropped: reg.Counter("pool.archive_dropped"),
+		fsyncs:  reg.Counter("pool.archive_fsyncs"),
+	}
+	go r.run()
+	return r
+}
+
+// Record enqueues ev without blocking; a full queue drops the event
+// and bumps pool.archive_dropped.
+//
+//lint:hotpath
+func (r *Recorder) Record(ev Event) {
+	select {
+	case r.ch <- ev:
+	default:
+		r.dropped.Inc()
+	}
+}
+
+// Flush blocks until every event enqueued before the call is appended
+// and synced. Events recorded concurrently with Flush may or may not
+// be covered.
+func (r *Recorder) Flush() {
+	ack := make(chan struct{})
+	select {
+	case r.flush <- ack:
+		<-ack
+	case <-r.dead:
+	}
+}
+
+// Close drains the queue, syncs, stops the goroutine and closes the
+// underlying Store.
+func (r *Recorder) Close() error {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	<-r.dead
+	return r.store.Close()
+}
+
+func (r *Recorder) run() {
+	defer close(r.dead)
+	for {
+		select {
+		case ev := <-r.ch:
+			r.append(&ev)
+			r.drainAndSync()
+		case ack := <-r.flush:
+			r.drainAndSync()
+			close(ack)
+		case <-r.done:
+			r.drainAndSync()
+			return
+		}
+	}
+}
+
+// drainAndSync appends everything currently queued, then syncs once —
+// the fsync batching that keeps durability off the per-event bill.
+func (r *Recorder) drainAndSync() {
+	for {
+		select {
+		case ev := <-r.ch:
+			r.append(&ev)
+		default:
+			if r.pending && r.store.Sync() == nil {
+				r.fsyncs.Inc()
+				r.pending = false
+			}
+			return
+		}
+	}
+}
+
+func (r *Recorder) append(ev *Event) {
+	if r.store.Append(ev) == nil {
+		r.appends.Inc()
+		r.pending = true
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/stratum"
@@ -371,6 +372,11 @@ func (ms *MinerSession) offend(pts float64, nowNs int64) bool {
 	}
 	if newly {
 		e.bans.Inc()
+		e.pool.archiveEvent(archive.Event{
+			TimeNs: nowNs,
+			Kind:   archive.KindBan,
+			Actor:  ms.siteKey,
+		})
 	}
 	ms.emit(Event{
 		Kind: EvError, Err: stratum.BannedMessage,
@@ -550,6 +556,10 @@ func (ms *MinerSession) submit(cmd Command) {
 		// reconnects and covers direct-API callers.)
 		if jok && ms.dupMemo.has(memoKey) {
 			e.dupShares.Inc()
+			// Session-memo rejections never reach SubmitShare, so they are
+			// archived here; account-memo rejections are archived by the
+			// pool. Each duplicate takes exactly one of the two paths.
+			p.archiveShare(archive.KindShareDuplicate, ms.siteKey, cmd.JobID, cmd.Nonce, 0, 0)
 			if ms.offend(e.ban.DuplicateScore, nowNs) {
 				return
 			}

@@ -17,11 +17,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/archive"
 	"repro/internal/blockchain"
 	"repro/internal/cryptonight"
 	"repro/internal/metrics"
@@ -73,6 +75,12 @@ type PoolConfig struct {
 	// (128); negative disables the memo (benchmarks and tests that replay
 	// premined shares by design).
 	ShareMemoSize int
+	// Archive, when non-nil, receives an archive.Event for every
+	// observable pool action: share outcomes, retargets, bans, chain
+	// appends, found blocks and payouts. The hook is non-blocking by
+	// construction (Recorder drops and counts when its queue is full),
+	// so a slow archive can never stall the submit path.
+	Archive *archive.Recorder
 }
 
 func (c *PoolConfig) fillDefaults() {
@@ -334,7 +342,52 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		p.refreshShardLocked(sh, b, tip)
 		p.backends[b] = sh
 	}
+	if cfg.Archive != nil {
+		// Chain appends are archived from the tip listener, which fires
+		// synchronously on the appending goroutine after the chain's locks
+		// are released — so a block's append event always precedes its
+		// settlement events (found-block, payouts) in the archive.
+		rec, clock := cfg.Archive, cfg.Clock
+		cfg.Chain.Subscribe(func(tip [32]byte, height uint64) {
+			rec.Record(archive.Event{
+				TimeNs: clock.Now().UnixNano(),
+				Kind:   archive.KindBlockAppend,
+				Height: height,
+				Hash:   tip,
+			})
+		})
+	}
 	return p, nil
+}
+
+// archiveEvent hands ev to the archive hook, if configured, stamping
+// the pool clock when the caller left TimeNs zero.
+func (p *Pool) archiveEvent(ev archive.Event) {
+	rec := p.cfg.Archive
+	if rec == nil {
+		return
+	}
+	if ev.TimeNs == 0 {
+		ev.TimeNs = p.cfg.Clock.Now().UnixNano()
+	}
+	rec.Record(ev)
+}
+
+// archiveShare records one share outcome, if the archive hook is
+// configured. Kept out of line so the nil check is the only cost on
+// the un-archived submit path.
+func (p *Pool) archiveShare(kind archive.Kind, token, jobID string, nonce uint32, diff, credited uint64) {
+	if p.cfg.Archive == nil {
+		return
+	}
+	p.archiveEvent(archive.Event{
+		Kind:   kind,
+		Amount: diff,
+		Aux:    uint64(nonce),
+		Aux2:   credited,
+		Actor:  token,
+		Ref:    jobID,
+	})
 }
 
 // Links exposes the short-link store.
@@ -574,12 +627,14 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	b, seq, slot, link, vdiff, ok := parseJobID(jobID)
 	if !ok || b >= len(p.backends) || slot >= p.cfg.TemplatesPerBackend {
 		p.sharesBad.Add(1)
+		p.archiveShare(archive.KindShareRejected, token, jobID, nonce, 0, 0)
 		return out, ErrUnknownJob
 	}
 	// A vardiff-tier ID is only meaningful when vardiff is on and its
 	// difficulty inside the configured clamp; anything else was forged.
 	if vdiff != 0 && (!p.cfg.Vardiff.Enabled() || vdiff < p.cfg.Vardiff.MinDifficulty || vdiff > p.cfg.Vardiff.MaxDifficulty) {
 		p.sharesBad.Add(1)
+		p.archiveShare(archive.KindShareRejected, token, jobID, nonce, 0, 0)
 		return out, ErrUnknownJob
 	}
 	// Duplicate pre-check before the CryptoNight verify: a duplicate
@@ -597,6 +652,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 		if dup {
 			p.sharesDup.Inc()
 			p.sharesBad.Add(1)
+			p.archiveShare(archive.KindShareDuplicate, token, jobID, nonce, 0, 0)
 			return out, ErrDuplicateShare
 		}
 	}
@@ -640,8 +696,10 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 		// generation, or a current-generation string the shard never
 		// issued (e.g. an un-minted link tier) — was forged.
 		if minted == jobID || seq < curSeq || (vdiff != 0 && seq == curSeq) {
+			p.archiveShare(archive.KindShareStale, token, jobID, nonce, 0, 0)
 			return out, ErrStaleJob
 		}
+		p.archiveShare(archive.KindShareRejected, token, jobID, nonce, 0, 0)
 		return out, ErrUnknownJob
 	}
 
@@ -649,6 +707,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	got := cryptonight.Sum(blob, p.variant)
 	if got != result {
 		p.sharesBad.Add(1)
+		p.archiveShare(archive.KindShareRejected, token, jobID, nonce, 0, 0)
 		return out, ErrBadShare
 	}
 	// Verify against — and credit — the tier the ID itself carries: that
@@ -660,6 +719,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	}
 	if !cryptonight.CheckCompactTarget(result, cryptonight.DifficultyForTarget(diff)) {
 		p.sharesBad.Add(1)
+		p.archiveShare(archive.KindShareRejected, token, jobID, nonce, diff, 0)
 		return out, ErrLowShare
 	}
 	out.Diff = diff
@@ -676,6 +736,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 			st.mu.Unlock()
 			p.sharesDup.Inc()
 			p.sharesBad.Add(1)
+			p.archiveShare(archive.KindShareDuplicate, token, jobID, nonce, 0, 0)
 			return out, ErrDuplicateShare
 		}
 	}
@@ -685,6 +746,7 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	out.Credited = acct.TotalHashes
 	st.mu.Unlock()
 	p.sharesOK.Add(1)
+	p.archiveShare(archive.KindShareAccepted, token, jobID, nonce, diff, out.Credited)
 	if linkID != "" {
 		p.links.Credit(linkID, diff)
 	}
@@ -764,15 +826,37 @@ func (p *Pool) settleLocked(b *blockchain.Block, backend int) {
 		st.round = map[string]uint64{}
 		st.mu.Unlock()
 	}
+	height := p.cfg.Chain.Height()
+	p.archiveEvent(archive.Event{
+		Kind:   archive.KindBlockFound,
+		Height: height,
+		Amount: reward,
+		Aux:    b.Timestamp,
+		Aux2:   uint64(backend),
+	})
 	distributed := uint64(0)
 	if total > 0 {
-		for token, h := range round {
-			cut := userPart * h / total
+		// Tokens are paid in sorted order so the archived payout sequence
+		// is deterministic — map iteration order must not leak into what a
+		// replay is compared against.
+		tokens := make([]string, 0, len(round))
+		for token := range round {
+			tokens = append(tokens, token)
+		}
+		sort.Strings(tokens)
+		for _, token := range tokens {
+			cut := userPart * round[token] / total
 			st := p.stripeFor(token)
 			st.mu.Lock()
 			st.accountLocked(token).BalanceAtomic += cut
 			st.mu.Unlock()
 			distributed += cut
+			p.archiveEvent(archive.Event{
+				Kind:   archive.KindPayout,
+				Height: height,
+				Amount: cut,
+				Actor:  token,
+			})
 		}
 	}
 	// Rounding dust (and the whole user part, when nobody contributed
@@ -780,7 +864,6 @@ func (p *Pool) settleLocked(b *blockchain.Block, backend int) {
 	p.kept.Add(reward - distributed)
 	p.paid.Add(distributed)
 	p.blocksFound.Inc()
-	height := p.cfg.Chain.Height()
 	p.found = append(p.found, FoundBlock{
 		Height: height, Timestamp: b.Timestamp, Backend: backend, Reward: reward,
 	})

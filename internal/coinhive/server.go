@@ -43,6 +43,11 @@ type Server struct {
 	// handshake on each instead of leaving miners to time out on a dead
 	// TCP connection.
 	conns connSet[*ws.Conn]
+
+	// api, when attached, serves /api/v1/... (the archived-history stats
+	// API). It is a plain http.Handler so coinhive stays independent of
+	// the statsapi package — the daemon wires the two together.
+	api http.Handler
 }
 
 // NewServer wraps a pool in a fresh engine. Use NewServerWithEngine to
@@ -116,6 +121,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveCaptchaCreate(w, r)
 	case path == "/api/captcha/verify" && r.Method == http.MethodPost:
 		s.serveCaptchaVerify(w, r)
+	case strings.HasPrefix(path, "/api/v1/"):
+		if s.api == nil {
+			http.NotFound(w, r)
+			return
+		}
+		s.api.ServeHTTP(w, r)
 	case path == "/api/stats":
 		s.serveStats(w)
 	case path == "/metrics":
@@ -124,6 +135,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 	}
 }
+
+// AttachAPI mounts h at /api/v1/... on the service mux. Call before
+// serving; typically h is a statsapi.API over the pool's archive.
+func (s *Server) AttachAPI(h http.Handler) { s.api = h }
 
 // serveLinkPage renders the interstitial progress page. The markup carries
 // the creator token and required hash count as data attributes — exactly

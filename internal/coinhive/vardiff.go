@@ -3,6 +3,8 @@ package coinhive
 import (
 	"math"
 	"time"
+
+	"repro/internal/archive"
 )
 
 // This file is the per-session variable-difficulty retargeter. The paper's
@@ -248,4 +250,10 @@ func (ms *MinerSession) applyRetarget(next uint64) {
 	ms.curDiff.Store(next)
 	ms.vdWin.reset()
 	ms.eng.retargets.Inc()
+	ms.eng.pool.archiveEvent(archive.Event{
+		Kind:   archive.KindRetarget,
+		Amount: next,
+		Aux:    ms.prevDiff,
+		Actor:  ms.siteKey,
+	})
 }

@@ -64,6 +64,18 @@ var DefaultLayerRules = []LayerRule{
 		Deny:   []string{"repro/internal/session", "repro/internal/loadgen", "repro/internal/webminer"},
 		Reason: "the service core must not depend on its own clients or load harness",
 	},
+	{
+		Pkg:    "repro/internal/archive",
+		Allow:  []string{"repro/internal/metrics"},
+		Deny:   []string{"repro/internal/coinhive"},
+		Reason: "the archive is a passive sink: events flow in via the pool's hook, never by reaching back",
+	},
+	{
+		Pkg:    "repro/internal/statsapi",
+		Allow:  []string{"repro/internal/archive", "repro/internal/metrics"},
+		Deny:   []string{"repro/internal/coinhive"},
+		Reason: "the stats API serves archived history only; live pool state stays behind /api/stats",
+	},
 }
 
 // Layering checks the import-graph rule table over every module package.

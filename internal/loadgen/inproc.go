@@ -7,11 +7,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/blockchain"
 	"repro/internal/coinhive"
 	"repro/internal/memconn"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/statsapi"
 )
 
 // InprocTarget is a full coinhive service on ephemeral loopback ports —
@@ -29,6 +31,7 @@ type InprocTarget struct {
 	srv     *http.Server
 	sln     net.Listener
 	mem     *memconn.Listener
+	rec     *archive.Recorder
 	tipSeq  uint32
 }
 
@@ -45,6 +48,11 @@ type InprocOptions struct {
 	Registry        *metrics.Registry
 	Vardiff         coinhive.VardiffConfig
 	Ban             coinhive.BanConfig
+	// Archive, when set, hangs an event recorder off the pool and mounts
+	// the stats API on /api/v1 over the same store — the target the
+	// Archived scenarios (and the loadd API gate) run against. Close
+	// drains the recorder and closes the store.
+	Archive archive.Store
 }
 
 // DefendedInprocOptions is the canonical defended-target tuning the
@@ -116,21 +124,35 @@ func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *archive.Recorder
+	if opts.Archive != nil {
+		rec = archive.NewRecorder(opts.Archive, opts.Registry, 0)
+	}
 	pool, err := coinhive.NewPool(coinhive.PoolConfig{
 		Chain:           chain,
 		Wallet:          blockchain.AddressFromString("loadgen-wallet"),
 		Clock:           simclock.Real(),
 		ShareDifficulty: opts.ShareDifficulty,
 		Metrics:         opts.Registry,
+		Archive:         rec,
 		Vardiff:         opts.Vardiff,
 		Ban:             opts.Ban,
 	})
 	if err != nil {
+		if rec != nil {
+			rec.Close()
+		}
 		return nil, err
 	}
 	handler := coinhive.NewServer(pool)
+	if opts.Archive != nil {
+		handler.AttachAPI(statsapi.New(opts.Archive, opts.Registry, statsapi.Options{}))
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		if rec != nil {
+			rec.Close()
+		}
 		return nil, err
 	}
 	// Both listeners are claimed before the stratum server exists: its
@@ -139,6 +161,9 @@ func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 	sln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		ln.Close()
+		if rec != nil {
+			rec.Close()
+		}
 		return nil, err
 	}
 	srv := &http.Server{Handler: handler}
@@ -159,6 +184,7 @@ func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 		srv:     srv,
 		sln:     sln,
 		mem:     mem,
+		rec:     rec,
 	}, nil
 }
 
@@ -181,6 +207,7 @@ func (t *InprocTarget) Config() Config {
 	return Config{
 		URL:     t.URL,
 		TCPAddr: t.TCPAddr,
+		HTTPURL: t.HTTPURL(),
 		DialTCP: t.DialMem,
 		Refresh: t.AdvanceTip,
 	}
@@ -195,4 +222,9 @@ func (t *InprocTarget) Close() {
 	_ = t.sln.Close()
 	_ = t.mem.Close()
 	t.srv.Close()
+	if t.rec != nil {
+		// After the fronts are down no new events arrive; Close drains
+		// the recorder queue and closes the archive store.
+		t.rec.Close()
+	}
 }

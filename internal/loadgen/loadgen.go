@@ -47,6 +47,9 @@ type Config struct {
 	// TCPAddr is the raw-TCP stratum listener (host:port). Required by
 	// scenarios whose Transport is "tcp" or "mixed".
 	TCPAddr string
+	// HTTPURL is the service's plain-HTTP base (http://host:port), where
+	// /api/v1 lives. Required by scenarios with APIReaders.
+	HTTPURL string
 	// DialTCP, when set, replaces the address dial for TCP-dialect
 	// sessions: the swarm runs each stratum session over the returned
 	// conn instead of opening a socket to TCPAddr. The in-process
@@ -188,6 +191,15 @@ type Result struct {
 	HonestCadencePerMin float64 `json:"honest_cadence_per_min,omitempty"`
 	ConvergedDifficulty uint64  `json:"converged_difficulty,omitempty"`
 
+	// Stats-API reader outcomes (APIReaders scenarios): pages fetched,
+	// failures (non-200, transport error, malformed body or a cursor
+	// chain that never terminates), and the client-observed per-page
+	// latency percentiles.
+	APIQueries    uint64 `json:"api_queries,omitempty"`
+	APIErrors     uint64 `json:"api_errors,omitempty"`
+	APIQueryP50Ns int64  `json:"api_query_p50_ns,omitempty"`
+	APIQueryP99Ns int64  `json:"api_query_p99_ns,omitempty"`
+
 	// Server-side defense counters for this scenario (filled in by the
 	// driver from the defended target's registry, like JobPushes).
 	SrvBans         uint64 `json:"srv_bans,omitempty"`
@@ -310,6 +322,11 @@ type Swarm struct {
 	rateLimited    *metrics.Counter // rate-limit rejections (login or submit)
 	staleFloodErrs *metrics.Counter // too-many-stale errors
 
+	// Stats-API reader instruments (APIReaders scenarios).
+	apiQueries *metrics.Counter
+	apiErrors  *metrics.Counter
+	apiNs      *metrics.Histogram
+
 	errMu      sync.Mutex
 	errSamples []string
 
@@ -350,6 +367,9 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 	if cfg.Scenario.Mem && cfg.DialTCP == nil {
 		return nil, fmt.Errorf("loadgen: scenario %q runs over in-memory conns and needs Config.DialTCP", cfg.Scenario.Name)
 	}
+	if cfg.Scenario.APIReaders > 0 && cfg.HTTPURL == "" {
+		return nil, fmt.Errorf("loadgen: scenario %q pages the stats API and needs Config.HTTPURL", cfg.Scenario.Name)
+	}
 	reg := cfg.Registry
 	return &Swarm{
 		cfg:    cfg,
@@ -373,6 +393,10 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 		dupCredited:    reg.Counter("load.duplicate_credited"),
 		rateLimited:    reg.Counter("load.rejected_rate_limited"),
 		staleFloodErrs: reg.Counter("load.rejected_stale_flood"),
+
+		apiQueries: reg.Counter("load.api_queries"),
+		apiErrors:  reg.Counter("load.api_errors"),
+		apiNs:      reg.Histogram("load.api_query_ns"),
 	}, nil
 }
 
@@ -397,6 +421,11 @@ func (sw *Swarm) Run() (Result, error) {
 		go sw.worker()
 	}
 	defer close(sw.quit)
+
+	// Stats-API readers page /api/v1 for the whole run — through the
+	// ramp, the turns and the hold — so the query percentiles reflect a
+	// service that is simultaneously mining.
+	readers := sw.startAPIReaders()
 
 	// Mid-run tip refreshes: the chain event that makes the TCP dialect
 	// push jobs and both dialects field stale shares.
@@ -503,6 +532,9 @@ func (sw *Swarm) Run() (Result, error) {
 		}
 	}
 
+	// Readers stop before the result snapshot so the query counters and
+	// percentiles are final for this row.
+	readers.stop()
 	res := sw.result(start, sessions)
 
 	// Drain: proper close handshake on every surviving session.
@@ -555,6 +587,13 @@ func (sw *Swarm) result(start time.Time, sessions []*minerSession) Result {
 	}
 	if dur > 0 {
 		r.SharesPerSec = float64(r.SharesOK) / dur.Seconds()
+	}
+	r.APIQueries = sw.apiQueries.Load()
+	r.APIErrors = sw.apiErrors.Load()
+	if r.APIQueries > 0 {
+		api := sw.apiNs.Snapshot()
+		r.APIQueryP50Ns = int64(api.P50)
+		r.APIQueryP99Ns = int64(api.P99)
 	}
 	r.SessionsBanned = sw.banned.Load()
 	r.RejectedDuplicate = sw.dupRejected.Load()

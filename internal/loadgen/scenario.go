@@ -97,6 +97,17 @@ type Scenario struct {
 	// carry the 10k/25k/50k scale tiers.
 	Mem bool
 
+	// APIReaders, when >0, runs this many HTTP clients paging the
+	// archived-history stats API (/api/v1) for the whole run — readers
+	// and miners contend for the same service, which is exactly the
+	// operating condition the stats API must stay responsive under.
+	// Requires Config.HTTPURL.
+	APIReaders int
+	// Archived marks a scenario that must run against a target with the
+	// event archive + stats API enabled (drivers boot or select such a
+	// target; see InprocOptions.Archive).
+	Archived bool
+
 	// Attack picks the hostile behaviour (Attack* constants). Non-honest
 	// sessions verify the server's containment replies — an accepted
 	// duplicate, for instance, is a protocol error.
@@ -199,6 +210,21 @@ var scenarios = map[string]Scenario{
 		Turns:        3,
 		Ramp:         2 * time.Second,
 		RefreshEvery: 500 * time.Millisecond,
+	},
+	"api-readers": {
+		Name: "api-readers",
+		Description: "mixed mining swarm with concurrent HTTP clients paging the archived-history stats API, " +
+			"tips moving; readers and miners contend for one service",
+		Transport:    TransportMixed,
+		Archived:     true,
+		APIReaders:   8,
+		Turns:        3,
+		Ramp:         2 * time.Second,
+		RefreshEvery: 500 * time.Millisecond,
+		// The hold keeps the swarm parked while the readers continue
+		// paging, so the query percentiles cover both the contended ramp
+		// and the steady state.
+		Hold: 2 * time.Second,
 	},
 	"dup-submit": {
 		Name:        "dup-submit",
