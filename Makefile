@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke load-hostile load-scale load-api
+.PHONY: all build vet test test-short test-race lint check bench bench-diff bench-paper bench-submit load load-smoke load-hostile load-scale load-api load-federation
 
 all: build vet test-short
 
@@ -44,6 +44,7 @@ check:
 	$(MAKE) load-hostile
 	$(MAKE) load-scale
 	$(MAKE) load-api
+	$(MAKE) load-federation
 
 # Live-service gate (≈10s): both transports — 500 concurrent ws miner
 # sessions, then 500 concurrent raw-TCP stratum sessions — against an
@@ -79,6 +80,16 @@ load-scale:
 # load, while a blocking archive would overshoot by orders of magnitude).
 load-api:
 	$(GO) run ./cmd/loadd -api-smoke
+
+# Federation gate (≈15s): the federation scenario splits one swarm
+# across three gossip-linked pool nodes (memconn mesh), kills one node
+# mid-run and cold-replaces it with an empty share-chain that must
+# catch-up-sync while new shares arrive. Fails on any protocol error,
+# unconverged tips, lost credit (every accepted share's difficulty must
+# reach the replicated books), a federation-queue drop, a replacement
+# that never ran a sync round, or gossip propagation p99 over 1s.
+load-federation:
+	$(GO) run ./cmd/loadd -federation-smoke
 
 # Full load-scenario catalogue (ws: steady/churn/storm/slow/malformed/
 # smoke; tcp: tcp-steady/tcp-storm/tcp-smoke; both: mixed, the hostile

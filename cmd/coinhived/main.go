@@ -10,6 +10,7 @@
 //	coinhived -ban-threshold 100 -ban-duration 10m -login-rate 2  # abuse containment
 //	coinhived -pprof-addr 127.0.0.1:6060   # opt-in net/http/pprof on its own listener
 //	coinhived -archive-dir ./archive -api  # durable event archive + stats API on /api/v1
+//	coinhived -p2p-addr :7333 -peer other:7333 -pplns-window 2048  # federated multi-node pool
 //	coinhived -smoke        # boot the service, serve one stats request, exit
 //
 // Endpoints:
@@ -85,6 +86,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	archiveDir := fs.String("archive-dir", "", `append-only event archive directory ("" disables archiving to disk)`)
 	archiveRetention := fs.Int("archive-retention", 64, "archive segments kept; rotation unlinks the oldest beyond this (0 keeps all)")
 	apiOn := fs.Bool("api", false, "serve the stats API on /api/v1 (backed by -archive-dir, or an in-memory ring without it)")
+	p2pAddr := fs.String("p2p-addr", "", `federation gossip listener, e.g. :7333 ("" and no -peer disables federation)`)
+	pplnsWindow := fs.Int("pplns-window", 0, "federated PPLNS window size in shares (0: the share-chain default; all nodes must agree)")
+	var peers []string
+	fs.Func("peer", "host:port of a federation peer to link to (repeatable)", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("empty -peer address")
+		}
+		peers = append(peers, v)
+		return nil
+	})
 	smoke := fs.Bool("smoke", false, "serve one stats request on an ephemeral port, then exit")
 	pprofAddr := fs.String("pprof-addr", "", `serve net/http/pprof on this address ("" disables; keep it loopback/firewalled)`)
 	if err := fs.Parse(args); err != nil {
@@ -146,12 +157,44 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer recorder.Close()
 	}
 
+	// Federation: this pool becomes one node of a gossip-linked cluster.
+	// The share-chain and peer layer share the pool's registry, so the
+	// p2p.* and pool.sharechain_* instruments land in /metrics.
+	var fed *coinhive.Federation
+	if *p2pAddr != "" || len(peers) > 0 {
+		fed, err = coinhive.NewFederation(coinhive.FederationConfig{
+			Variant:       params.PowVariant,
+			Window:        *pplnsWindow,
+			AdvertiseAddr: *p2pAddr,
+			Registry:      reg,
+		})
+		if err != nil {
+			return err
+		}
+		// Backstop for early-error returns; the graceful path below closes
+		// first (Close is idempotent).
+		defer fed.Close()
+		if *p2pAddr != "" {
+			pln, err := net.Listen("tcp", *p2pAddr)
+			if err != nil {
+				return err
+			}
+			go fed.Serve(pln)
+			fmt.Fprintf(out, "coinhived: federation gossip on %s (pplns window %d)\n", pln.Addr(), *pplnsWindow)
+		}
+		for _, p := range peers {
+			fed.Connect(p)
+			fmt.Fprintf(out, "coinhived: federation peer %s (reconnect with backoff)\n", p)
+		}
+	}
+
 	pool, err := coinhive.NewPool(coinhive.PoolConfig{
 		Chain:               chain,
 		Wallet:              blockchain.AddressFromString("coinhive-wallet"),
 		Clock:               simclock.Real(),
 		Metrics:             reg,
 		Archive:             recorder,
+		Federation:          fed,
 		ShareDifficulty:     *shareDiff,
 		LinkShareDifficulty: *linkDiff,
 		Vardiff: coinhive.VardiffConfig{
@@ -260,6 +303,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if stratumSrv != nil && !stratumSrv.Drained(4*time.Second) {
 		fmt.Fprintln(out, "coinhived: some stratum sessions never drained")
+	}
+	if fed != nil {
+		// Both fronts are drained, so no new shares can arrive; Close
+		// flushes the emit queue into the share-chain and every peer's
+		// send queue onto the wire before dropping the links — shares this
+		// node accepted must reach the cluster even across a restart.
+		_, entries := fed.Chain().Tip()
+		_ = fed.Close()
+		fmt.Fprintf(out, "coinhived: federation drained (%d share-chain entries, %d peers at exit)\n",
+			entries, fed.Node().PeerCount())
 	}
 
 	st := pool.StatsSnapshot()

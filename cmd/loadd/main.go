@@ -72,6 +72,7 @@ func run(args []string, out io.Writer) error {
 	smoke := fs.Bool("smoke", false, "CI gate: in-process smoke over both transports, assert full concurrency and zero protocol errors")
 	hostileSmoke := fs.Bool("hostile-smoke", false, "CI gate: steady baseline then mixed-hostile against a defended in-process target; assert containment, vardiff convergence and the honest-latency bound")
 	apiSmoke := fs.Bool("api-smoke", false, "CI gate: steady baseline then api-readers against an archived in-process target; assert zero API errors, the query-latency bound and an unperturbed submit p99")
+	fedSmoke := fs.Bool("federation-smoke", false, "CI gate: the federation scenario (3 gossip-linked pool nodes, one killed and cold-replaced mid-run); assert converged tips, zero lost credit and bounded gossip propagation")
 	scale := fs.Bool("scale", false, "append the 10k/25k/50k tcp-scale tiers (in-memory conns) to the report")
 	scaleSmoke := fs.Bool("scale-smoke", false, "CI gate: tcp-scale at 1k then 10k sessions; assert zero protocol errors, bounded fan-out p99 and the goroutine diet")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run here (pprof)")
@@ -128,6 +129,14 @@ func run(args []string, out io.Writer) error {
 		// unperturbed submit tail.
 		names = []string{"mixed", "api-readers"}
 		*target = ""
+	} else if *fedSmoke {
+		// The federation gate: one scenario, three nodes. RunFederation
+		// boots its own cluster, so no shared in-process target is needed.
+		names = []string{"federation"}
+		*target = ""
+		if !sessionsSet {
+			*sessions = 120
+		}
 	} else if *scaleSmoke {
 		// The scale gate needs nothing from the catalogue loop except the
 		// two tcp-scale tiers appended below.
@@ -191,7 +200,9 @@ func run(args []string, out io.Writer) error {
 	}
 	var refresh func()
 	var inproc *loadgen.InprocTarget
-	if url == "" {
+	if url == "" && !*fedSmoke {
+		// The federation gate runs only RunFederation, which boots its own
+		// 3-node cluster — a shared single target would sit idle.
 		t, err := loadgen.StartInproc(*shareDiff, poolReg)
 		if err != nil {
 			return err
@@ -247,6 +258,35 @@ func run(args []string, out io.Writer) error {
 		sc, err := loadgen.ScenarioByName(name)
 		if err != nil {
 			return err
+		}
+		if sc.Federation {
+			if *target != "" {
+				fmt.Fprintf(out, "loadd: skipping %s (the federation scenario boots its own 3-node cluster; drop -target)\n", name)
+				continue
+			}
+			res, err := loadgen.RunFederation(loadgen.Config{
+				Scenario: sc,
+				Sessions: spec.sessions,
+				Deadline: spec.deadline,
+				Registry: metrics.NewRegistry(),
+			}, *shareDiff)
+			if err != nil {
+				return fmt.Errorf("scenario %s: %w (samples: %v)", name, err, res.ErrorSamples)
+			}
+			rep.Results = append(rep.Results, res)
+			fmt.Fprintf(out, "loadd: %-10s [%s] sessions=%d shares_ok=%d proto_errors=%d | federation: nodes=%d entries=%d converged=%v lost_credit=%d drops=%d sync_rounds=%d reorgs=%d gossip p50=%s p99=%s\n",
+				res.Scenario, res.Transport, res.Sessions, res.SharesOK, res.ProtocolErrors,
+				res.FedNodes, res.FedEntries, res.FedConverged, res.FedLostCredit, res.FedDrops,
+				res.FedSyncRounds, res.FedReorgs,
+				time.Duration(res.FedGossipP50Ns), time.Duration(res.FedGossipP99Ns))
+			if *fedSmoke {
+				if err := assertFederation(res); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "loadd: federation OK — 3 nodes converged on %d entries through a kill and cold resync, zero lost credit, gossip p99 %s\n",
+					res.FedEntries, time.Duration(res.FedGossipP99Ns))
+			}
+			continue
 		}
 		if sc.Mem && inproc == nil {
 			// The in-memory tiers dial the in-process target's memconn
@@ -568,6 +608,41 @@ func assertAPI(res loadgen.Result, baselineP99 int64, srvDelta func(string) uint
 	}
 	if srvDelta("server.api_requests") == 0 {
 		return fmt.Errorf("api: server.api_requests is zero — reader queries bypassed the stats API")
+	}
+	return nil
+}
+
+// assertFederation is the multi-node gate: every session spoke the
+// dialect cleanly against whichever node it landed on, the three
+// share-chains converged to one tip — through a node kill and a cold
+// replacement's catch-up sync — with every accepted share's difficulty
+// present in the replicated books (zero lost credit) and nothing dropped
+// off any node's federation queue. Gossip propagation p99 is bounded at
+// 1s (bucket-ceiled): generous for memconn links on a loaded CI box, yet
+// far below the sync-repair cadence that would indicate broadcast is
+// silently broken and convergence is riding catch-up alone.
+func assertFederation(res loadgen.Result) error {
+	if res.ProtocolErrors != 0 {
+		return fmt.Errorf("federation: %d protocol errors: %v", res.ProtocolErrors, res.ErrorSamples)
+	}
+	if res.SharesOK == 0 {
+		return fmt.Errorf("federation: swarm produced no accepted shares")
+	}
+	if !res.FedConverged {
+		return fmt.Errorf("federation: nodes did not converge on one tip (%d entries expected)", res.FedEntries)
+	}
+	if res.FedLostCredit != 0 {
+		return fmt.Errorf("federation: %d difficulty-credit lost between local acceptance and the replicated books", res.FedLostCredit)
+	}
+	if res.FedDrops != 0 {
+		return fmt.Errorf("federation: %d shares dropped off a node's federation queue", res.FedDrops)
+	}
+	if res.FedSyncRounds == 0 {
+		return fmt.Errorf("federation: the cold replacement converged without a catch-up sync round")
+	}
+	if bound := histBucketCeil(int64(time.Second)); res.FedGossipP99Ns > bound {
+		return fmt.Errorf("federation: gossip propagation p99 %s exceeds the %s bound",
+			time.Duration(res.FedGossipP99Ns), time.Duration(bound))
 	}
 	return nil
 }

@@ -118,6 +118,10 @@ func replayArchive(dir string, out io.Writer) error {
 	fmt.Fprintf(out, "replayed %d events: %d accepted, %d stale, %d duplicate, %d rejected shares; %d retargets; chain height %d\n",
 		res.Events, res.SharesAccepted, res.SharesStale, res.SharesDuplicate,
 		res.SharesRejected, res.Retargets, res.ChainHeight)
+	if res.SharesGossipedIn > 0 || res.Reorgs > 0 {
+		fmt.Fprintf(out, "federation: %d gossiped-in shares, %d share-chain reorgs\n",
+			res.SharesGossipedIn, res.Reorgs)
+	}
 	fmt.Fprintf(out, "blocks found: %d\n", len(res.Blocks))
 	for _, b := range res.Blocks {
 		fmt.Fprintf(out, "  height %d  ts %d  backend %d  reward %d\n",

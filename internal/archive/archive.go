@@ -52,6 +52,14 @@ const (
 	// KindPayout: one account's cut of a found block's reward.
 	// Actor=token, Amount=cut, Height=block height.
 	KindPayout Kind = 9
+	// KindShareGossipIn: a share-chain entry gossiped in from a
+	// federation peer and admitted after PoW verification. Actor=token,
+	// Amount=difficulty credit, Aux=nonce, Height=claimed share-chain
+	// height, Hash=entry ID.
+	KindShareGossipIn Kind = 10
+	// KindReorg: a late entry displaced the share-chain's canonical
+	// order. Height=claimed height of the inserted entry, Hash=entry ID.
+	KindReorg Kind = 11
 )
 
 // String names a Kind for human-facing output (poolwatch, stats API).
@@ -75,6 +83,10 @@ func (k Kind) String() string {
 		return "block_found"
 	case KindPayout:
 		return "payout"
+	case KindShareGossipIn:
+		return "share_gossip_in"
+	case KindReorg:
+		return "reorg"
 	}
 	return "unknown"
 }

@@ -32,6 +32,14 @@ type ReplayResult struct {
 	Retargets       uint64
 	ChainHeight     uint64 // highest KindBlockAppend seen
 
+	// SharesGossipedIn counts federation entries admitted from peers;
+	// Reorgs counts share-chain order displacements. Gossiped-in credit
+	// is deliberately NOT folded into Credit: that map mirrors the local
+	// pool's AccountSnapshot surface, which federation does not touch —
+	// federated credit converges in the share-chain, not the accounts.
+	SharesGossipedIn uint64
+	Reorgs           uint64
+
 	Blocks []ReplayBlock
 	Bans   []ReplayBan
 
@@ -95,5 +103,9 @@ func (r *ReplayResult) apply(ev *Event) {
 		})
 	case KindPayout:
 		r.Paid[ev.Actor] += ev.Amount
+	case KindShareGossipIn:
+		r.SharesGossipedIn++
+	case KindReorg:
+		r.Reorgs++
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/blockchain"
 	"repro/internal/cryptonight"
 	"repro/internal/metrics"
+	"repro/internal/sharechain"
 	"repro/internal/simclock"
 	"repro/internal/stratum"
 )
@@ -81,6 +82,14 @@ type PoolConfig struct {
 	// construction (Recorder drops and counts when its queue is full),
 	// so a slow archive can never stall the submit path.
 	Archive *archive.Recorder
+	// Federation, when non-nil, makes this pool one node of a federated
+	// multi-node deployment: accepted shares are handed to the share-chain
+	// and gossiped to peers through the same non-blocking pattern the
+	// Archive hook uses, and found-block settlement switches from the
+	// local round tallies to the share-chain's PPLNS window, so converged
+	// nodes compute bit-identical payout vectors. Construct with
+	// NewFederation and wire links before traffic arrives.
+	Federation *Federation
 }
 
 func (c *PoolConfig) fillDefaults() {
@@ -286,8 +295,8 @@ type Pool struct {
 	// it is the bytes-marshaled-per-push telemetry: a healthy fan-out
 	// encodes once per (backend, slot, tier) per refresh, not per session.
 	jobEncodes *metrics.Counter
-	kept         atomic.Uint64 // pool's 30% cut, cumulative
-	paid         atomic.Uint64 // users' 70%, cumulative
+	kept       atomic.Uint64 // pool's 30% cut, cumulative
+	paid       atomic.Uint64 // users' 70%, cumulative
 
 	// settleMu serialises the rare won-a-block path: chain append, reward
 	// settlement and the found-block record.
@@ -341,6 +350,32 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		}
 		p.refreshShardLocked(sh, b, tip)
 		p.backends[b] = sh
+	}
+	if fed, rec := cfg.Federation, cfg.Archive; fed != nil && rec != nil {
+		// Gossiped-in shares and reorgs become archive events, so a
+		// replayed archive reports how much of this node's share-chain
+		// arrived over the wire rather than from local miners.
+		clock := cfg.Clock
+		fed.OnIngest(func(e *sharechain.Entry, reorged bool) {
+			now := clock.Now().UnixNano()
+			rec.Record(archive.Event{
+				TimeNs: now,
+				Kind:   archive.KindShareGossipIn,
+				Height: e.Height,
+				Amount: e.Diff,
+				Aux:    uint64(e.Nonce),
+				Hash:   e.ID(),
+				Actor:  e.Token,
+			})
+			if reorged {
+				rec.Record(archive.Event{
+					TimeNs: now,
+					Kind:   archive.KindReorg,
+					Height: e.Height,
+					Hash:   e.ID(),
+				})
+			}
+		})
 	}
 	if cfg.Archive != nil {
 		// Chain appends are archived from the tip listener, which fires
@@ -747,6 +782,13 @@ func (p *Pool) SubmitShare(token, jobID string, nonce uint32, result [32]byte, l
 	st.mu.Unlock()
 	p.sharesOK.Add(1)
 	p.archiveShare(archive.KindShareAccepted, token, jobID, nonce, diff, out.Credited)
+	if fed := p.cfg.Federation; fed != nil {
+		// The blob already has the winning nonce spliced, so the entry is
+		// self-certifying on every peer. emitShare copies the stack buffer
+		// and never blocks — federation rides the submit path at the cost
+		// of one queue offer.
+		fed.emitShare(token, diff, nonce, blob, result)
+	}
 	if linkID != "" {
 		p.links.Credit(linkID, diff)
 	}
@@ -810,6 +852,10 @@ func (p *Pool) ProduceWinningBlock(ts uint64, backend int, nonce uint32) (*block
 // taken one at a time, so shares submitted concurrently with settlement
 // land cleanly in this round or the next.
 func (p *Pool) settleLocked(b *blockchain.Block, backend int) {
+	if p.cfg.Federation != nil {
+		p.settleFederatedLocked(b, backend)
+		return
+	}
 	reward := b.Coinbase.Amount
 	// Users receive floor(reward × (100−fee)%); rounding dust favours the
 	// pool, as any self-respecting fee schedule would.
@@ -868,6 +914,57 @@ func (p *Pool) settleLocked(b *blockchain.Block, backend int) {
 		Height: height, Timestamp: b.Timestamp, Backend: backend, Reward: reward,
 	})
 }
+
+// settleFederatedLocked is settleLocked's federation twin: the reward
+// still splits FeePercent/user-part, but the user part follows the
+// share-chain's PPLNS window instead of this node's round tallies. The
+// window is a pure function of the (converged) entry set, so every node
+// in the federation computes the same payout vector for the same block —
+// which is what lets N nodes settle independently without reconciling.
+// Local round tallies still reset: "this round" remains a meaningful
+// local statistic even though it no longer prices payouts.
+func (p *Pool) settleFederatedLocked(b *blockchain.Block, backend int) {
+	reward := b.Coinbase.Amount
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		st.round = map[string]uint64{}
+		st.mu.Unlock()
+	}
+	height := p.cfg.Chain.Height()
+	p.archiveEvent(archive.Event{
+		Kind:   archive.KindBlockFound,
+		Height: height,
+		Amount: reward,
+		Aux:    b.Timestamp,
+		Aux2:   uint64(backend),
+	})
+	// PayoutVector is already fee-discounted, sorted-token, integer math
+	// with dust truncated per account — deterministic across nodes.
+	distributed := uint64(0)
+	for _, po := range p.cfg.Federation.Chain().PayoutVector(reward) {
+		st := p.stripeFor(po.Token)
+		st.mu.Lock()
+		st.accountLocked(po.Token).BalanceAtomic += po.Amount
+		st.mu.Unlock()
+		distributed += po.Amount
+		p.archiveEvent(archive.Event{
+			Kind:   archive.KindPayout,
+			Height: height,
+			Amount: po.Amount,
+			Actor:  po.Token,
+		})
+	}
+	p.kept.Add(reward - distributed)
+	p.paid.Add(distributed)
+	p.blocksFound.Inc()
+	p.found = append(p.found, FoundBlock{
+		Height: height, Timestamp: b.Timestamp, Backend: backend, Reward: reward,
+	})
+}
+
+// Federation exposes the federation bundle, nil for standalone pools.
+func (p *Pool) Federation() *Federation { return p.cfg.Federation }
 
 // Stats is a snapshot of pool economics.
 type Stats struct {

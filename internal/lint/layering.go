@@ -71,6 +71,18 @@ var DefaultLayerRules = []LayerRule{
 		Reason: "the archive is a passive sink: events flow in via the pool's hook, never by reaching back",
 	},
 	{
+		Pkg:    "repro/internal/sharechain",
+		Allow:  []string{"repro/internal/blockchain", "repro/internal/metrics"},
+		Deny:   []string{"repro/internal/coinhive", "repro/internal/ws", "repro/internal/stratum"},
+		Reason: "the share-chain is a passive deterministic data structure: PoW verification is injected, service layers stay out of reach",
+	},
+	{
+		Pkg:    "repro/internal/p2p",
+		Allow:  []string{"repro/internal/sharechain", "repro/internal/metrics", "repro/internal/memconn"},
+		Deny:   []string{"repro/internal/coinhive", "repro/internal/ws", "repro/internal/stratum"},
+		Reason: "the peer layer moves share-chain entries over net.Conns; it must not know the pool engine or the miner-facing protocols",
+	},
+	{
 		Pkg:    "repro/internal/statsapi",
 		Allow:  []string{"repro/internal/archive", "repro/internal/metrics"},
 		Deny:   []string{"repro/internal/coinhive"},

@@ -1,0 +1,378 @@
+package loadgen
+
+// RunFederation is the multi-node load scenario: three federated pool
+// nodes, each a full InprocTarget (ws + stratum fronts, own blockchain,
+// own share-chain, own p2p identity), linked into a gossip mesh over
+// memconn. One swarm's sessions are split across the nodes, so every
+// node sees a disjoint slice of the share stream and the replicated
+// books only converge if gossip, sync and the PPLNS share-chain all
+// work. Mid-run, node C is killed — graceful drain, the way a real
+// deploy rolls a node — and cold-replaced by a fresh process with an
+// empty share-chain that must rebuild history through ranged sync while
+// new shares keep arriving.
+//
+// The run asserts nothing itself; it measures, and the driver's gate
+// (loadd -federation-smoke) pins the invariants: converged tips, zero
+// lost credit, zero federation drops, a real catch-up sync on the
+// replacement, and bounded gossip propagation.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/blockchain"
+	"repro/internal/coinhive"
+	"repro/internal/memconn"
+	"repro/internal/metrics"
+	"repro/internal/sharechain"
+)
+
+// fedLoadNode is one node of the federated cluster under load.
+type fedLoadNode struct {
+	target *InprocTarget
+	reg    *metrics.Registry
+	ln     *memconn.Listener // p2p gossip listener
+}
+
+// gossipProbe measures mint-to-ingest propagation latency. Mint hooks
+// timestamp every entry a live node broadcasts; ingest hooks on the
+// other nodes look the origin time up by entry ID. Reset clears the
+// origin map at the cold-replacement boundary so the replacement's
+// catch-up sync — which legitimately delivers hours-old entries — is
+// excluded from the gossip percentiles.
+type gossipProbe struct {
+	mu    sync.Mutex
+	times map[[32]byte]time.Time
+	hist  *metrics.Histogram
+}
+
+func (p *gossipProbe) onMint(e *sharechain.Entry) {
+	now := time.Now()
+	p.mu.Lock()
+	p.times[e.ID()] = now
+	p.mu.Unlock()
+}
+
+func (p *gossipProbe) onIngest(e *sharechain.Entry, _ bool) {
+	p.mu.Lock()
+	t0, ok := p.times[e.ID()]
+	p.mu.Unlock()
+	if ok {
+		p.hist.Observe(time.Since(t0))
+	}
+}
+
+func (p *gossipProbe) reset() {
+	p.mu.Lock()
+	p.times = map[[32]byte]time.Time{}
+	p.mu.Unlock()
+}
+
+// startFedLoadNode boots one federated target. The share-chain window
+// and fee stay at their defaults — every node must agree on them, and
+// defaults are the one tuning nobody can skew.
+func startFedLoadNode(id uint64, shareDiff uint64, probe *gossipProbe) (*fedLoadNode, error) {
+	reg := metrics.NewRegistry()
+	fed, err := coinhive.NewFederation(coinhive.FederationConfig{
+		Variant:     blockchain.SimParams().PowVariant,
+		NodeID:      id,
+		Registry:    reg,
+		TipInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fed.OnMint(probe.onMint)
+	fed.OnIngest(probe.onIngest)
+	target, err := StartInprocOpts(InprocOptions{
+		ShareDifficulty: shareDiff,
+		Registry:        reg,
+		Federation:      fed,
+	})
+	if err != nil {
+		fed.Close()
+		return nil, err
+	}
+	ln := memconn.Listen()
+	go fed.Serve(ln)
+	return &fedLoadNode{target: target, reg: reg, ln: ln}, nil
+}
+
+func (n *fedLoadNode) chain() *sharechain.Chain { return n.target.Fed.Chain() }
+
+// kill tears the node down the way a deploy would: miner fronts first,
+// then the federation's graceful drain (InprocTarget.Close), then the
+// gossip listener, so the peers' redial loops start missing.
+func (n *fedLoadNode) kill() {
+	n.target.Close()
+	n.ln.Close()
+}
+
+// counterVal reads one counter by name through the snapshot surface (the
+// registry's registration sites stay unique, per the metricname rule).
+func counterVal(reg *metrics.Registry, name string) uint64 {
+	for _, s := range reg.Snapshots() {
+		if s.Kind == "counter" && s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// fedPhase drives one swarm slice against each live node concurrently
+// and returns the sub-run results. tag namespaces the slice's site keys,
+// so reruns against the same node never collide with the pool's
+// duplicate memos.
+func fedPhase(cfg Config, tag string, nodes []*fedLoadNode) ([]Result, error) {
+	perNode := cfg.Sessions / 3
+	if perNode < 1 {
+		perNode = 1
+	}
+	results := make([]Result, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		sub := cfg
+		sub.Scenario.Name = fmt.Sprintf("%s-%s-n%d", cfg.Scenario.Name, tag, i)
+		sub.URL = n.target.URL
+		sub.TCPAddr = n.target.TCPAddr
+		sub.DialTCP = n.target.DialMem
+		sub.HTTPURL = n.target.HTTPURL()
+		sub.Sessions = perNode
+		sub.Workers = 0 // auto-size per slice, not per nominal swarm
+		sub.Registry = metrics.NewRegistry()
+		wg.Add(1)
+		go func(i int, sub Config) {
+			defer wg.Done()
+			results[i], errs[i] = Run(sub)
+		}(i, sub)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("federation %s node %d: %w", tag, i, err)
+		}
+	}
+	return results, nil
+}
+
+// fedConverged polls until every node's share-chain holds wantEntries
+// entries under one common tip (and bit-identical credit books), or the
+// deadline passes.
+func fedConverged(nodes []*fedLoadNode, wantEntries int, deadline time.Time) bool {
+	for {
+		tips := map[[32]byte]bool{}
+		ok := true
+		for _, n := range nodes {
+			tip, count := n.chain().Tip()
+			if count != wantEntries {
+				ok = false
+				break
+			}
+			tips[tip] = true
+		}
+		if ok && len(tips) == 1 {
+			// Same tip ⇒ same canonical sequence ⇒ same credit; the books
+			// are still compared outright so a tip-hash bug cannot hide a
+			// divergence.
+			ref := nodes[0].chain().CreditSnapshot()
+			same := true
+			for _, n := range nodes[1:] {
+				got := n.chain().CreditSnapshot()
+				if len(got) != len(ref) {
+					same = false
+					break
+				}
+				for k, v := range ref {
+					if got[k] != v {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// RunFederation executes the federation scenario: phase 1 splits the
+// swarm across three linked nodes, phase 2 continues on two survivors
+// after node C is killed, phase 3 splits across all three again once a
+// cold replacement has rejoined. shareDiff is the per-share difficulty
+// every node serves (vardiff stays off, so credit arithmetic is exact).
+func RunFederation(cfg Config, shareDiff uint64) (Result, error) {
+	if !cfg.Scenario.Federation {
+		return Result{}, fmt.Errorf("loadgen: scenario %q is not a federation scenario", cfg.Scenario.Name)
+	}
+	cfg.fillDefaults()
+	// The cluster is always built here, on SimParams chains; the oracle
+	// must grind that profile whatever the caller's -variant says.
+	cfg.Variant = blockchain.SimParams().PowVariant
+	start := time.Now()
+	deadline := start.Add(cfg.Deadline)
+
+	probe := &gossipProbe{
+		times: map[[32]byte]time.Time{},
+		hist:  cfg.Registry.Histogram("load.gossip_ns"),
+	}
+	nodeA, err := startFedLoadNode(1, shareDiff, probe)
+	if err != nil {
+		return Result{}, err
+	}
+	defer nodeA.kill()
+	nodeB, err := startFedLoadNode(2, shareDiff, probe)
+	if err != nil {
+		return Result{}, err
+	}
+	defer nodeB.kill()
+	nodeC, err := startFedLoadNode(3, shareDiff, probe)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Mesh: A→B, A→C, B→C (the symmetric handshake makes each link
+	// bidirectional). C's dialer indirects through a guarded listener
+	// pointer, so the survivors' redial loops find the replacement
+	// without new AddPeer calls — exactly how a node re-enters a real
+	// deployment behind a stable address.
+	var cMu sync.Mutex
+	cLn := nodeC.ln
+	dialC := func() (net.Conn, error) {
+		cMu.Lock()
+		ln := cLn
+		cMu.Unlock()
+		if ln == nil {
+			return nil, errors.New("node c is down")
+		}
+		return ln.Dial()
+	}
+	lnB := nodeB.ln
+	nodeA.target.Fed.AddPeer("b", func() (net.Conn, error) { return lnB.Dial() })
+	nodeA.target.Fed.AddPeer("c", dialC)
+	nodeB.target.Fed.AddPeer("c", dialC)
+
+	var agg Result
+	var totalShares uint64
+	collect := func(rs []Result) {
+		for _, r := range rs {
+			agg.Sessions += r.Sessions
+			agg.Workers += r.Workers
+			agg.Connects += r.Connects
+			agg.Reconnects += r.Reconnects
+			agg.SharesOK += r.SharesOK
+			agg.SharesRejected += r.SharesRejected
+			agg.ProtocolErrors += r.ProtocolErrors
+			agg.OracleGrinds += r.OracleGrinds
+			agg.PeakConcurrent += r.PeakConcurrent
+			if r.AcceptP50Ns > agg.AcceptP50Ns {
+				agg.AcceptP50Ns = r.AcceptP50Ns
+			}
+			if r.AcceptP99Ns > agg.AcceptP99Ns {
+				agg.AcceptP99Ns = r.AcceptP99Ns
+			}
+			if r.AcceptMaxNs > agg.AcceptMaxNs {
+				agg.AcceptMaxNs = r.AcceptMaxNs
+			}
+			if r.ConnectP99Ns > agg.ConnectP99Ns {
+				agg.ConnectP99Ns = r.ConnectP99Ns
+			}
+			agg.ErrorSamples = append(agg.ErrorSamples, r.ErrorSamples...)
+			totalShares += r.SharesOK
+		}
+	}
+
+	// Phase 1: disjoint slices across the full mesh.
+	rs, err := fedPhase(cfg, "p1", []*fedLoadNode{nodeA, nodeB, nodeC})
+	collect(rs)
+	if err != nil {
+		nodeC.kill()
+		return agg, err
+	}
+	if !fedConverged([]*fedLoadNode{nodeA, nodeB, nodeC}, int(totalShares), deadline) {
+		nodeC.kill()
+		return agg, fmt.Errorf("federation: phase 1 did not converge on %d entries", totalShares)
+	}
+
+	// Kill C. Its accepted shares are already replicated (the converge
+	// barrier above), and its graceful drain must not lose anything that
+	// arrived since — both feed the lost-credit ledger.
+	cMu.Lock()
+	cLn = nil
+	cMu.Unlock()
+	cDrops := counterVal(nodeC.reg, "pool.federation_drops")
+	nodeC.kill()
+
+	// Phase 2: the survivors keep absorbing the stream.
+	rs, err = fedPhase(cfg, "p2", []*fedLoadNode{nodeA, nodeB})
+	collect(rs)
+	if err != nil {
+		return agg, err
+	}
+	if !fedConverged([]*fedLoadNode{nodeA, nodeB}, int(totalShares), deadline) {
+		return agg, fmt.Errorf("federation: survivors did not converge on %d entries", totalShares)
+	}
+
+	// Cold replacement: same identity and address, empty share-chain.
+	// The origin map resets first so the replacement's catch-up sync
+	// (old entries, honest but not gossip) stays out of the propagation
+	// percentiles.
+	probe.reset()
+	nodeC2, err := startFedLoadNode(3, shareDiff, probe)
+	if err != nil {
+		return agg, err
+	}
+	defer nodeC2.kill()
+	cMu.Lock()
+	cLn = nodeC2.ln
+	cMu.Unlock()
+
+	// Phase 3: full mesh again; the replacement serves miners while it
+	// is still syncing history.
+	rs, err = fedPhase(cfg, "p3", []*fedLoadNode{nodeA, nodeB, nodeC2})
+	collect(rs)
+	if err != nil {
+		return agg, err
+	}
+	all := []*fedLoadNode{nodeA, nodeB, nodeC2}
+	converged := fedConverged(all, int(totalShares), deadline)
+
+	agg.Scenario = cfg.Scenario.Name
+	agg.Transport = cfg.Scenario.TransportName()
+	agg.DurationNs = int64(time.Since(start))
+	if agg.DurationNs > 0 {
+		agg.SharesPerSec = float64(agg.SharesOK) / time.Duration(agg.DurationNs).Seconds()
+	}
+	agg.FedNodes = 3
+	agg.FedConverged = converged
+	_, agg.FedEntries = nodeA.chain().Tip()
+
+	// Zero lost credit: every accepted share, on every node, in every
+	// phase — including everything the killed node took — must appear in
+	// the converged books at its full difficulty.
+	var chainCredit uint64
+	for _, v := range nodeA.chain().CreditSnapshot() {
+		chainCredit += v
+	}
+	if want := totalShares * shareDiff; chainCredit < want {
+		agg.FedLostCredit = want - chainCredit
+	}
+	agg.FedDrops = cDrops
+	agg.FedSyncRounds = counterVal(nodeC2.reg, "p2p.sync_rounds")
+	for _, n := range all {
+		agg.FedDrops += counterVal(n.reg, "pool.federation_drops")
+		agg.FedReorgs += counterVal(n.reg, "pool.sharechain_reorgs")
+	}
+	g := probe.hist.Snapshot()
+	agg.FedGossipP50Ns = int64(g.P50)
+	agg.FedGossipP99Ns = int64(g.P99)
+	return agg, nil
+}

@@ -28,6 +28,7 @@ type InprocTarget struct {
 	Pool    *coinhive.Pool
 	Handler *coinhive.Server
 	Stratum *coinhive.StratumServer
+	Fed     *coinhive.Federation // non-nil for federated targets
 	srv     *http.Server
 	sln     net.Listener
 	mem     *memconn.Listener
@@ -53,6 +54,11 @@ type InprocOptions struct {
 	// Archived scenarios (and the loadd API gate) run against. Close
 	// drains the recorder and closes the store.
 	Archive archive.Store
+	// Federation, when set, makes this target one node of a federated
+	// cluster: accepted shares feed its share-chain and gossip to the
+	// peers the caller links (see RunFederation). Close tears the peer
+	// layer down gracefully after the miner fronts drain.
+	Federation *coinhive.Federation
 }
 
 // DefendedInprocOptions is the canonical defended-target tuning the
@@ -135,6 +141,7 @@ func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 		ShareDifficulty: opts.ShareDifficulty,
 		Metrics:         opts.Registry,
 		Archive:         rec,
+		Federation:      opts.Federation,
 		Vardiff:         opts.Vardiff,
 		Ban:             opts.Ban,
 	})
@@ -181,6 +188,7 @@ func StartInprocOpts(opts InprocOptions) (*InprocTarget, error) {
 		Pool:    pool,
 		Handler: handler,
 		Stratum: stratumSrv,
+		Fed:     opts.Federation,
 		srv:     srv,
 		sln:     sln,
 		mem:     mem,
@@ -222,6 +230,12 @@ func (t *InprocTarget) Close() {
 	_ = t.sln.Close()
 	_ = t.mem.Close()
 	t.srv.Close()
+	if t.Fed != nil {
+		// After the miner fronts stop, no new shares can arrive; Close
+		// drains the emit queue and flushes every peer's send queue before
+		// dropping the links — gossip already accepted must still go out.
+		_ = t.Fed.Close()
+	}
 	if t.rec != nil {
 		// After the fronts are down no new events arrive; Close drains
 		// the recorder queue and closes the archive store.

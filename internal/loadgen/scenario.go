@@ -108,6 +108,12 @@ type Scenario struct {
 	// target; see InprocOptions.Archive).
 	Archived bool
 
+	// Federation marks the multi-node scenario: the driver boots a
+	// 3-node federated cluster and routes through RunFederation instead
+	// of the single-target swarm (the swarm machinery still drives each
+	// node's sessions).
+	Federation bool
+
 	// Attack picks the hostile behaviour (Attack* constants). Non-honest
 	// sessions verify the server's containment replies — an accepted
 	// duplicate, for instance, is a protocol error.
@@ -263,6 +269,16 @@ var scenarios = map[string]Scenario{
 		Attack:      AttackHammer,
 		Turns:       12,
 		Ramp:        500 * time.Millisecond,
+	},
+	"federation": {
+		Name: "federation",
+		Description: "three federated pool nodes gossip one swarm's shares over memconn links; " +
+			"one node is killed and cold-replaced mid-run; asserts converged tips and zero lost credit",
+		Transport:  TransportTCP,
+		Mem:        true,
+		Federation: true,
+		Turns:      2,
+		Ramp:       1 * time.Second,
 	},
 	"mixed-hostile": {
 		Name:         "mixed-hostile",

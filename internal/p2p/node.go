@@ -1,0 +1,609 @@
+package p2p
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sharechain"
+)
+
+// Defaults for Config zero values.
+const (
+	defaultQueueDepth   = 256
+	defaultSyncBatch    = 256
+	defaultTipInterval  = 250 * time.Millisecond
+	defaultReconnectMin = 50 * time.Millisecond
+	defaultReconnectMax = 2 * time.Second
+)
+
+// Config parameterises a Node.
+type Config struct {
+	// NodeID identifies this node in handshakes; it exists to detect
+	// self-connects and duplicate links, not as a trust anchor. 0 draws
+	// a random ID.
+	NodeID uint64
+	// Chain is the share-chain this node gossips for. Required.
+	Chain *sharechain.Chain
+	// Registry receives the p2p.* instruments (nil: private registry).
+	Registry *metrics.Registry
+	// AdvertiseAddr is the listen address sent in handshakes for the
+	// peer-list exchange ("" advertises nothing).
+	AdvertiseAddr string
+	// QueueDepth bounds each peer's send queue. Enqueue never blocks:
+	// a full queue drops the frame and the periodic tip announce later
+	// repairs the gap via sync.
+	QueueDepth int
+	// SyncBatch caps entries per sync response.
+	SyncBatch int
+	// TipInterval is the tip-announce period — the convergence repair
+	// heartbeat.
+	TipInterval time.Duration
+	// ReconnectMin/Max bound the dial backoff for peers added with
+	// AddPeer/Connect.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// OnIngest, if set, fires after a gossiped or synced entry is
+	// admitted to the chain. Used by the pool to archive gossip-in
+	// events and by loadgen to measure propagation latency.
+	OnIngest func(e *sharechain.Entry, reorged bool)
+	// Logf receives peer lifecycle noise (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// peer is one live connection after a successful handshake.
+type peer struct {
+	id    uint64
+	conn  net.Conn
+	sendq chan []byte
+	// closing tells the writer to drain what is queued and exit.
+	closing chan struct{}
+	once    sync.Once
+
+	// syncing guards one in-flight sync conversation per peer.
+	mu      sync.Mutex
+	syncing bool
+}
+
+func (p *peer) shutdown() { p.once.Do(func() { close(p.closing) }) }
+
+// enqueue offers a frame to the peer's writer without ever blocking the
+// caller. Dropped frames are repaired by the tip-announce/sync cycle.
+func (p *peer) enqueue(frame []byte) bool {
+	select {
+	case p.sendq <- frame:
+		return true
+	default:
+		return false
+	}
+}
+
+// Node is the peer layer: it serves inbound connections, maintains
+// outbound ones with reconnect backoff, broadcasts locally-minted
+// share-chain entries, and keeps the local chain converged with its
+// peers via dedupe, relay and ranged catch-up sync.
+type Node struct {
+	cfg Config
+
+	mu        sync.Mutex
+	peers     map[uint64]*peer
+	listeners []net.Listener
+	addrs     map[string]bool // advertised peer addresses learned from handshakes
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	peersGauge  *metrics.Gauge
+	gossiped    *metrics.Counter
+	ingested    *metrics.Counter
+	duplicate   *metrics.Counter
+	syncRounds  *metrics.Counter
+	reconnects  *metrics.Counter
+	broadcastNs *metrics.Histogram
+}
+
+// NewNode builds a node around a share-chain. Call Serve and/or
+// AddPeer/Connect to give it links, Close to tear it down.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Chain == nil {
+		return nil, errors.New("p2p: Config.Chain is required")
+	}
+	if cfg.NodeID == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("p2p: node id: %w", err)
+		}
+		cfg.NodeID = binary.LittleEndian.Uint64(b[:]) | 1 // never 0
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.SyncBatch <= 0 {
+		cfg.SyncBatch = defaultSyncBatch
+	}
+	if cfg.TipInterval <= 0 {
+		cfg.TipInterval = defaultTipInterval
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = defaultReconnectMin
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = defaultReconnectMax
+	}
+	n := &Node{
+		cfg:         cfg,
+		peers:       map[uint64]*peer{},
+		addrs:       map[string]bool{},
+		stop:        make(chan struct{}),
+		peersGauge:  cfg.Registry.Gauge("p2p.peers"),
+		gossiped:    cfg.Registry.Counter("p2p.shares_gossiped"),
+		ingested:    cfg.Registry.Counter("p2p.shares_ingested"),
+		duplicate:   cfg.Registry.Counter("p2p.shares_duplicate"),
+		syncRounds:  cfg.Registry.Counter("p2p.sync_rounds"),
+		reconnects:  cfg.Registry.Counter("p2p.reconnects"),
+		broadcastNs: cfg.Registry.Histogram("p2p.broadcast_ns"),
+	}
+	n.wg.Add(1)
+	go n.tipLoop()
+	return n, nil
+}
+
+// NodeID returns this node's handshake identity.
+func (n *Node) NodeID() uint64 { return n.cfg.NodeID }
+
+// PeerCount returns the number of live (handshaken) peers.
+func (n *Node) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+// KnownAddrs returns advertised peer addresses learned from handshakes —
+// the peer-list exchange an operator can use to grow a mesh from one
+// seed address.
+func (n *Node) KnownAddrs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.addrs))
+	for a := range n.addrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts inbound peer connections from ln until the listener or
+// the node closes. It blocks; run it in a goroutine.
+func (n *Node) Serve(ln net.Listener) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	n.listeners = append(n.listeners, ln)
+	n.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := n.runConn(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.logf("p2p: inbound peer: %v", err)
+			}
+		}()
+	}
+}
+
+// AddPeer maintains a persistent outbound link: dial, handshake, serve,
+// and on any failure redial with exponential backoff until the node
+// closes. name labels the peer in logs; dial produces the transport
+// (net.Dial for TCP, memconn Listener.Dial in tests).
+func (n *Node) AddPeer(name string, dial func() (net.Conn, error)) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		backoff := n.cfg.ReconnectMin
+		first := true
+		for {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			if !first {
+				n.reconnects.Inc()
+				select {
+				case <-time.After(backoff):
+				case <-n.stop:
+					return
+				}
+				backoff *= 2
+				if backoff > n.cfg.ReconnectMax {
+					backoff = n.cfg.ReconnectMax
+				}
+			}
+			first = false
+			conn, err := dial()
+			if err != nil {
+				n.logf("p2p: dial %s: %v", name, err)
+				continue
+			}
+			err = n.runConn(conn)
+			switch {
+			case errors.Is(err, ErrSelfConnect):
+				n.logf("p2p: peer %s is self, dropping link", name)
+				return
+			case err == nil, errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+				backoff = n.cfg.ReconnectMin // clean session: reset backoff
+			default:
+				n.logf("p2p: peer %s: %v", name, err)
+			}
+		}
+	}()
+}
+
+// Connect adds a persistent TCP peer at addr.
+func (n *Node) Connect(addr string) {
+	n.AddPeer(addr, func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	})
+}
+
+// Publish broadcasts a locally-accepted entry to every peer. The frame
+// is encoded once and shared across peers; enqueue never blocks, so the
+// pool's submit hot path pays one encode plus one channel offer per
+// peer. Dropped frames are repaired by the tip/sync heartbeat.
+func (n *Node) Publish(e *sharechain.Entry) {
+	start := time.Now()
+	frame := AppendShareFrame(nil, e)
+	n.mu.Lock()
+	targets := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		targets = append(targets, p)
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		p.enqueue(frame)
+	}
+	n.gossiped.Inc()
+	n.broadcastNs.Observe(time.Since(start))
+}
+
+// Close drains and tears down the peer layer: no new connections are
+// accepted, each peer's queued frames are flushed, then links drop.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	lns := n.listeners
+	n.listeners = nil
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	close(n.stop)
+	for _, ln := range lns {
+		ln.Close()
+	}
+	// Ask writers to drain their queues, then close the conns (which
+	// unblocks the readers).
+	for _, p := range peers {
+		p.shutdown()
+	}
+	done := make(chan struct{})
+	go func() {
+		n.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+	return nil
+}
+
+// tipLoop periodically announces the local tip to every peer. This is
+// the convergence repair heartbeat: any divergence — dropped broadcast,
+// missed relay, fresh restart — shows up as a tip mismatch at the next
+// beat and triggers a sync round.
+func (n *Node) tipLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.TipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		tip, count := n.cfg.Chain.Tip()
+		frame := AppendTipFrame(nil, uint64(count), tip)
+		n.mu.Lock()
+		targets := make([]*peer, 0, len(n.peers))
+		for _, p := range n.peers {
+			targets = append(targets, p)
+		}
+		n.mu.Unlock()
+		for _, p := range targets {
+			p.enqueue(frame)
+		}
+	}
+}
+
+// runConn performs the handshake and runs the peer until the link dies.
+// Both sides send their hello first, then read the remote one — no
+// initiator/responder asymmetry, so the same code serves both inbound
+// and outbound links.
+func (n *Node) runConn(conn net.Conn) error {
+	defer conn.Close()
+	tip, count := n.cfg.Chain.Tip()
+	h := hello{
+		Version: ProtocolVersion,
+		NodeID:  n.cfg.NodeID,
+		Count:   uint64(count),
+		Tip:     tip,
+	}
+	if n.cfg.AdvertiseAddr != "" {
+		h.Peers = append(h.Peers, n.cfg.AdvertiseAddr)
+	}
+	h.Peers = append(h.Peers, n.KnownAddrs()...)
+	if _, err := conn.Write(AppendHelloFrame(nil, &h)); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 32<<10)
+	kind, body, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if kind != frameHello {
+		return ErrUnknownFrame
+	}
+	rh, err := decodeHello(body)
+	if err != nil {
+		return err
+	}
+	if rh.Version != ProtocolVersion {
+		return ErrBadVersion
+	}
+	if rh.NodeID == n.cfg.NodeID {
+		return ErrSelfConnect
+	}
+
+	p := &peer{
+		id:      rh.NodeID,
+		conn:    conn,
+		sendq:   make(chan []byte, n.cfg.QueueDepth),
+		closing: make(chan struct{}),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return net.ErrClosed
+	}
+	if _, dup := n.peers[rh.NodeID]; dup {
+		n.mu.Unlock()
+		return ErrDupPeer
+	}
+	n.peers[rh.NodeID] = p
+	for _, a := range rh.Peers {
+		if a != "" && a != n.cfg.AdvertiseAddr {
+			n.addrs[a] = true
+		}
+	}
+	n.mu.Unlock()
+	n.peersGauge.Inc()
+	defer func() {
+		n.mu.Lock()
+		if n.peers[rh.NodeID] == p {
+			delete(n.peers, rh.NodeID)
+		}
+		n.mu.Unlock()
+		n.peersGauge.Dec()
+		p.shutdown()
+	}()
+
+	n.wg.Add(1)
+	go n.writeLoop(p)
+
+	// The remote hello doubles as its first tip announce.
+	n.maybeSync(p, rh.Count, rh.Tip)
+	return n.readLoop(p, br)
+}
+
+// writeLoop drains the peer's send queue onto the conn. On shutdown it
+// flushes whatever is already queued (graceful drain), then closes the
+// conn to unblock the reader.
+func (n *Node) writeLoop(p *peer) {
+	defer n.wg.Done()
+	defer p.conn.Close()
+	for {
+		select {
+		case frame := <-p.sendq:
+			p.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := p.conn.Write(frame); err != nil {
+				return
+			}
+		case <-p.closing:
+			for {
+				select {
+				case frame := <-p.sendq:
+					p.conn.SetWriteDeadline(time.Now().Add(time.Second))
+					if _, err := p.conn.Write(frame); err != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop dispatches inbound frames until the link dies.
+func (n *Node) readLoop(p *peer, br *bufio.Reader) error {
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case frameShare:
+			e, _, err := decodeEntry(body)
+			if err != nil {
+				return err
+			}
+			n.ingest(p, &e)
+		case frameTip:
+			t, err := decodeTip(body)
+			if err != nil {
+				return err
+			}
+			n.maybeSync(p, t.Count, t.Tip)
+		case frameSyncReq:
+			r, err := decodeSyncReq(body)
+			if err != nil {
+				return err
+			}
+			maxN := int(r.Max)
+			if maxN <= 0 || maxN > n.cfg.SyncBatch {
+				maxN = n.cfg.SyncBatch
+			}
+			entries := n.cfg.Chain.EntriesFrom(r.From, maxN)
+			tip, count := n.cfg.Chain.Tip()
+			p.enqueue(AppendSyncRespFrame(nil, uint64(count), tip, entries))
+		case frameSyncResp:
+			t, entries, err := decodeSyncResp(body)
+			if err != nil {
+				return err
+			}
+			n.finishSyncRound(p, t, entries)
+		case frameHello:
+			// A second hello on a live link is a protocol violation.
+			return ErrUnknownFrame
+		default:
+			return ErrUnknownFrame
+		}
+	}
+}
+
+// ingest admits one gossiped entry into the chain and relays it to the
+// other peers — relay is what makes non-mesh topologies (lines, stars)
+// converge without every node dialing every other.
+func (n *Node) ingest(from *peer, e *sharechain.Entry) {
+	if n.cfg.Chain.Has(e.ID()) {
+		n.duplicate.Inc()
+		return
+	}
+	reorged, err := n.cfg.Chain.Insert(e, false)
+	if err != nil {
+		if errors.Is(err, sharechain.ErrDuplicate) {
+			n.duplicate.Inc()
+		} else {
+			n.logf("p2p: reject gossiped share from %d: %v", from.id, err)
+		}
+		return
+	}
+	n.ingested.Inc()
+	if n.cfg.OnIngest != nil {
+		n.cfg.OnIngest(e, reorged)
+	}
+	frame := AppendShareFrame(nil, e)
+	n.mu.Lock()
+	targets := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p != from {
+			targets = append(targets, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		p.enqueue(frame)
+	}
+}
+
+// maybeSync starts a catch-up round with a peer whose announced tip
+// shows it holds entries we lack: a larger count, or an equal count
+// with a different tip (divergent sets of the same size). One round is
+// in flight per peer at a time.
+func (n *Node) maybeSync(p *peer, remoteCount uint64, remoteTip [32]byte) {
+	tip, count := n.cfg.Chain.Tip()
+	behind := remoteCount > uint64(count) ||
+		(remoteCount == uint64(count) && remoteCount > 0 && remoteTip != tip)
+	if !behind {
+		return
+	}
+	p.mu.Lock()
+	if p.syncing {
+		p.mu.Unlock()
+		return
+	}
+	p.syncing = true
+	p.mu.Unlock()
+	n.syncRounds.Inc()
+	p.enqueue(AppendSyncReqFrame(nil, 0, uint32(n.cfg.SyncBatch)))
+}
+
+// finishSyncRound ingests a sync batch and either continues the round
+// (full batch ⇒ more may follow) or closes it and lets the next tip
+// beat decide whether another round is needed.
+func (n *Node) finishSyncRound(p *peer, t tipAnnounce, entries []sharechain.Entry) {
+	for i := range entries {
+		n.ingest(p, &entries[i])
+	}
+	more := len(entries) == n.cfg.SyncBatch
+	if !more {
+		p.mu.Lock()
+		p.syncing = false
+		p.mu.Unlock()
+		return
+	}
+	// Full batch ⇒ more may follow: continue from the last height seen
+	// (same-height stragglers re-sent, deduped on arrival).
+	p.enqueue(AppendSyncReqFrame(nil, entries[len(entries)-1].Height, uint32(n.cfg.SyncBatch)))
+}
+
+// readFrame reads one length-prefixed frame and splits off the kind
+// byte. The length check rejects hostile sizes before any payload is
+// buffered.
+func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	ln := binary.LittleEndian.Uint32(hdr[:])
+	if ln == 0 {
+		return 0, nil, ErrTruncated
+	}
+	if ln > MaxFrameLen {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, ln)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, err
+	}
+	return DecodeFrame(body)
+}

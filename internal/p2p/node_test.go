@@ -1,0 +1,391 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memconn"
+	"repro/internal/metrics"
+	"repro/internal/sharechain"
+)
+
+// acceptAll is the test verifier: structure-only, no PoW. Node tests
+// exercise gossip and convergence; PoW gating has its own tests in
+// sharechain and in the pool's federation suite.
+func acceptAll(*sharechain.Entry) error { return nil }
+
+// testNode is one in-process federation member: chain + node + listener.
+type testNode struct {
+	chain *sharechain.Chain
+	node  *Node
+	ln    *memconn.Listener
+	reg   *metrics.Registry
+}
+
+func startNode(t *testing.T, id uint64) *testNode {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	chain := sharechain.New(sharechain.Config{Window: 64, Verify: acceptAll, Metrics: reg})
+	node, err := NewNode(Config{
+		NodeID:      id,
+		Chain:       chain,
+		Registry:    reg,
+		TipInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := memconn.Listen()
+	go node.Serve(ln)
+	t.Cleanup(func() { node.Close() })
+	return &testNode{chain: chain, node: node, ln: ln, reg: reg}
+}
+
+// link makes a maintain a persistent outbound connection to b.
+func link(a, b *testNode) {
+	target := b.ln
+	a.node.AddPeer("test-peer", func() (net.Conn, error) { return target.Dial() })
+}
+
+// mint creates, locally inserts and publishes one entry on n, as the
+// pool's submit path would.
+func mint(t *testing.T, n *testNode, token string, diff uint64, salt uint32) *sharechain.Entry {
+	t.Helper()
+	blob := make([]byte, 76)
+	binary.LittleEndian.PutUint32(blob, salt)
+	e := &sharechain.Entry{
+		Height: n.chain.NextHeight(),
+		Token:  token,
+		Diff:   diff,
+		Nonce:  salt,
+		Blob:   blob,
+	}
+	e.Result[0] = byte(salt)
+	e.Result[1] = byte(salt >> 8)
+	if _, err := n.chain.Insert(e, true); err != nil {
+		t.Fatalf("local insert: %v", err)
+	}
+	n.node.Publish(e)
+	return e
+}
+
+// waitConverged polls until every chain reports the same tip over the
+// same entry count, then cross-checks credit and payout vectors.
+func waitConverged(t *testing.T, want int, nodes ...*testNode) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tips := map[[32]byte]bool{}
+		ok := true
+		for _, n := range nodes {
+			tip, count := n.chain.Tip()
+			if count != want {
+				ok = false
+				break
+			}
+			tips[tip] = true
+		}
+		if ok && len(tips) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, n := range nodes {
+				tip, count := n.chain.Tip()
+				t.Logf("node %d: count=%d tip=%x", i, count, tip[:8])
+			}
+			t.Fatalf("nodes did not converge on %d entries", want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ref := nodes[0]
+	refCredit := ref.chain.CreditSnapshot()
+	refPay := ref.chain.PayoutVector(1_000_000)
+	for i, n := range nodes[1:] {
+		if !reflect.DeepEqual(n.chain.CreditSnapshot(), refCredit) {
+			t.Fatalf("node %d credit diverged: %v vs %v", i+1, n.chain.CreditSnapshot(), refCredit)
+		}
+		if !reflect.DeepEqual(n.chain.PayoutVector(1_000_000), refPay) {
+			t.Fatalf("node %d payout vector diverged", i+1)
+		}
+	}
+}
+
+func TestTwoNodeGossip(t *testing.T) {
+	a := startNode(t, 1)
+	b := startNode(t, 2)
+	link(a, b)
+	for i := 0; i < 20; i++ {
+		mint(t, a, fmt.Sprintf("tok%d", i%3), uint64(1+i%4), uint32(i))
+	}
+	waitConverged(t, 20, a, b)
+	if got := b.reg.Counter("p2p.shares_ingested").Load(); got == 0 {
+		t.Fatalf("b ingested nothing")
+	}
+	if got := a.reg.Counter("p2p.shares_gossiped").Load(); got != 20 {
+		t.Fatalf("a gossiped = %d", got)
+	}
+}
+
+// TestLineTopologyRelay proves rebroadcast: in a line A—B—C, entries
+// minted at A reach C only if B relays ingested shares onward.
+func TestLineTopologyRelay(t *testing.T) {
+	a := startNode(t, 1)
+	b := startNode(t, 2)
+	c := startNode(t, 3)
+	link(a, b)
+	link(c, b)
+	for i := 0; i < 15; i++ {
+		mint(t, a, "alpha", 2, uint32(i))
+		mint(t, c, "gamma", 3, uint32(1000+i))
+	}
+	waitConverged(t, 30, a, b, c)
+}
+
+// TestDisjointSlicesConverge is the headline property at the p2p layer:
+// three meshed nodes each fed a disjoint slice of one share stream end
+// bit-identical.
+func TestDisjointSlicesConverge(t *testing.T) {
+	nodes := []*testNode{startNode(t, 1), startNode(t, 2), startNode(t, 3)}
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	link(nodes[2], nodes[0])
+	const total = 60
+	for i := 0; i < total; i++ {
+		mint(t, nodes[i%3], fmt.Sprintf("acct%d", i%5), uint64(1+i%7), uint32(i))
+	}
+	waitConverged(t, total, nodes...)
+}
+
+// TestKillAndResync kills one node mid-run, keeps minting on the
+// survivors, then brings a fresh node (empty chain — cold restart) back
+// under the same links and requires full convergence: the ranged sync
+// rebuilds history from zero.
+func TestKillAndResync(t *testing.T) {
+	a := startNode(t, 1)
+	b := startNode(t, 2)
+
+	// c's listener is re-pointable so a's persistent dialer can reach the
+	// restarted instance.
+	var mu sync.Mutex
+	cLn := memconn.Listen()
+	dialC := func() (net.Conn, error) {
+		mu.Lock()
+		ln := cLn
+		mu.Unlock()
+		return ln.Dial()
+	}
+	regC := metrics.NewRegistry()
+	chainC := sharechain.New(sharechain.Config{Window: 64, Verify: acceptAll, Metrics: regC})
+	nodeC, err := NewNode(Config{NodeID: 3, Chain: chainC, Registry: regC, TipInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go nodeC.Serve(cLn)
+
+	link(a, b)
+	a.node.AddPeer("c", dialC)
+
+	c := &testNode{chain: chainC, node: nodeC, ln: cLn, reg: regC}
+	for i := 0; i < 10; i++ {
+		mint(t, a, "early", 2, uint32(i))
+	}
+	waitConverged(t, 10, a, b, c)
+
+	// Kill c entirely: node, listener, chain state all gone.
+	nodeC.Close()
+	cLn.Close()
+
+	for i := 0; i < 10; i++ {
+		mint(t, b, "during-outage", 3, uint32(100+i))
+	}
+	waitConverged(t, 20, a, b)
+
+	// Cold restart: fresh chain, fresh node, same identity and links.
+	regC2 := metrics.NewRegistry()
+	chainC2 := sharechain.New(sharechain.Config{Window: 64, Verify: acceptAll, Metrics: regC2})
+	nodeC2, err := NewNode(Config{NodeID: 3, Chain: chainC2, Registry: regC2, TipInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeC2.Close()
+	mu.Lock()
+	cLn = memconn.Listen()
+	ln2 := cLn
+	mu.Unlock()
+	go nodeC2.Serve(ln2)
+
+	for i := 0; i < 5; i++ {
+		mint(t, a, "late", 1, uint32(200+i))
+	}
+	c2 := &testNode{chain: chainC2, node: nodeC2, ln: ln2, reg: regC2}
+	waitConverged(t, 25, a, b, c2)
+	if got := regC2.Counter("p2p.sync_rounds").Load(); got == 0 {
+		t.Fatalf("restart converged without a sync round?")
+	}
+	if got := a.reg.Counter("p2p.reconnects").Load(); got == 0 {
+		t.Fatalf("a's dialer never counted a reconnect across c's outage")
+	}
+}
+
+// runHandshake drives runConn against a scripted remote end.
+func runHandshake(t *testing.T, n *Node, script func(net.Conn)) error {
+	t.Helper()
+	local, remote := memconn.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- n.runConn(local) }()
+	script(remote)
+	select {
+	case err := <-done:
+		remote.Close()
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake did not finish")
+		return nil
+	}
+}
+
+func TestHandshakeRejections(t *testing.T) {
+	n := startNode(t, 77)
+
+	// Bad protocol version.
+	err := runHandshake(t, n.node, func(c net.Conn) {
+		h := hello{Version: ProtocolVersion + 1, NodeID: 5}
+		c.Write(AppendHelloFrame(nil, &h))
+	})
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	// Loop-to-self: remote node ID equals our own.
+	err = runHandshake(t, n.node, func(c net.Conn) {
+		h := hello{Version: ProtocolVersion, NodeID: 77}
+		c.Write(AppendHelloFrame(nil, &h))
+	})
+	if !errors.Is(err, ErrSelfConnect) {
+		t.Fatalf("self connect: %v", err)
+	}
+
+	// Oversize frame in place of the hello.
+	err = runHandshake(t, n.node, func(c net.Conn) {
+		var hdr [frameHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[:], MaxFrameLen+1)
+		c.Write(hdr[:])
+	})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize: %v", err)
+	}
+
+	// A share frame before any hello is a protocol violation.
+	err = runHandshake(t, n.node, func(c net.Conn) {
+		c.Write(AppendShareFrame(nil, testEntry(1, "a", 1, 1)))
+	})
+	if !errors.Is(err, ErrUnknownFrame) {
+		t.Fatalf("share-before-hello: %v", err)
+	}
+
+	if got := n.node.PeerCount(); got != 0 {
+		t.Fatalf("rejected handshakes left %d peers", got)
+	}
+}
+
+func TestDuplicatePeerRejected(t *testing.T) {
+	a := startNode(t, 1)
+	b := startNode(t, 2)
+	link(a, b)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.node.PeerCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first link never came up")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A second connection claiming b's node ID must be refused.
+	err := runHandshake(t, a.node, func(c net.Conn) {
+		h := hello{Version: ProtocolVersion, NodeID: 2}
+		c.Write(AppendHelloFrame(nil, &h))
+	})
+	if !errors.Is(err, ErrDupPeer) {
+		t.Fatalf("dup peer: %v", err)
+	}
+	if got := a.node.PeerCount(); got != 1 {
+		t.Fatalf("peer count after dup rejection = %d", got)
+	}
+}
+
+// TestPeerListExchange: the handshake advertises listen addresses, and
+// the remote records them for mesh bootstrap.
+func TestPeerListExchange(t *testing.T) {
+	reg := metrics.NewRegistry()
+	chain := sharechain.New(sharechain.Config{Window: 8, Verify: acceptAll, Metrics: reg})
+	a, err := NewNode(Config{NodeID: 1, Chain: chain, Registry: reg,
+		AdvertiseAddr: "10.0.0.1:7777", TipInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := startNode(t, 2)
+	ln := memconn.Listen()
+	go a.Serve(ln)
+	target := ln
+	b.node.AddPeer("a", func() (net.Conn, error) { return target.Dial() })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		addrs := b.node.KnownAddrs()
+		if len(addrs) == 1 && addrs[0] == "10.0.0.1:7777" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer list never arrived: %v", addrs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDuplicateGossipCounted: the same entry arriving twice (mesh with
+// relay) is deduped by hash, not double-credited.
+func TestDuplicateGossipCounted(t *testing.T) {
+	nodes := []*testNode{startNode(t, 1), startNode(t, 2), startNode(t, 3)}
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	link(nodes[2], nodes[0])
+	// Wait for the full mesh: with every link up, each broadcast reaches
+	// a node both directly and via relay, which is what makes duplicate
+	// deliveries certain rather than timing-dependent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		up := 0
+		for _, n := range nodes {
+			up += n.node.PeerCount()
+		}
+		if up == 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh never fully connected (%d/6 links)", up)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < 30; i++ {
+		mint(t, nodes[0], "solo", 1, uint32(i))
+	}
+	waitConverged(t, 30, nodes...)
+	var dups uint64
+	for _, n := range nodes {
+		dups += n.reg.Counter("p2p.shares_duplicate").Load()
+	}
+	if dups == 0 {
+		t.Fatalf("full mesh with relay produced zero duplicate deliveries")
+	}
+	// Credit must count each entry exactly once despite duplicates.
+	for i, n := range nodes {
+		if got := n.chain.CreditSnapshot()["solo"]; got != 30 {
+			t.Fatalf("node %d credit = %d, want 30", i, got)
+		}
+	}
+}

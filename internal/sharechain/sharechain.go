@@ -1,0 +1,449 @@
+// Package sharechain is the deterministic PPLNS share-chain that makes a
+// federation of pool nodes converge on identical books. Every accepted
+// share — local or gossiped in from a peer — becomes an Entry; the chain
+// is the canonical linearization of the entry SET, ordered by (claimed
+// height, entry ID). Because the order is a pure function of the entries
+// themselves (never of arrival order, map iteration, or wall clocks), any
+// two nodes holding the same set of entries hold bit-identical chains:
+// same tip hash, same per-account credit, same PPLNS payout vector. That
+// set-determinism is the whole convergence proof — gossip only has to
+// deliver the set, not an ordering.
+//
+// A late-gossiped entry whose sort position precedes the current tip is a
+// reorg: the canonical order says the branch containing it is better (it
+// holds strictly more weight), so the rolling tip hashes after its
+// insertion point are rebuilt and the PPLNS window credit is recomputed.
+// No entry is ever orphaned — every valid share stays in the chain — which
+// is what makes "zero lost credit" a structural property rather than an
+// accounting promise.
+//
+// The package is a passive data structure: PoW verification is injected
+// through Config.Verify (the pool wires its pooled CryptoNight hashers
+// in), and nothing here reaches into the service layers — the layering
+// lint pins sharechain to blockchain + metrics imports only.
+package sharechain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// DefaultWindow is the PPLNS window size in entries: payouts are split
+// over the last N shares of the canonical chain, difficulty-weighted.
+const DefaultWindow = 2048
+
+// DefaultMaxHeightSkew bounds how far above the current tip height an
+// entry may claim to sit. Claimed heights interleave naturally (each
+// node mints at its own tip height + 1), so honest skew is the gossip
+// concurrency — a handful. A hostile peer claiming far-future heights
+// would otherwise pin its shares at the window's tail forever.
+const DefaultMaxHeightSkew = 4096
+
+// DefaultMaxBlobBytes bounds an entry's PoW blob. Hashing blobs in this
+// repo are well under 128 bytes; anything larger is a hostile frame.
+const DefaultMaxBlobBytes = 512
+
+// MaxTokenLen bounds the miner-token string in an entry.
+const MaxTokenLen = 128
+
+// Validation errors.
+var (
+	ErrDuplicate  = errors.New("sharechain: entry already in chain")
+	ErrBadEntry   = errors.New("sharechain: structurally invalid entry")
+	ErrHeightSkew = errors.New("sharechain: claimed height too far ahead of tip")
+	ErrBadPoW     = errors.New("sharechain: proof of work does not verify")
+	ErrUnverified = errors.New("sharechain: no verifier configured for remote entries")
+)
+
+// Entry is one accepted share as a share-chain record. The Blob carries
+// the full PoW input with the winning nonce already spliced, so any node
+// can re-verify the work with nothing but the entry itself: Sum(Blob)
+// must equal Result and Result must meet the Diff target. Identity is
+// the SHA-256 of the canonical encoding — origin-independent, so the
+// same record gossiped along different paths dedupes to one entry.
+type Entry struct {
+	// Height is the claimed chain height: the origin node's tip height
+	// plus one at mint time. Concurrent mints at different nodes claim
+	// the same height and tie-break by ID; the claim is part of the
+	// entry's identity, so it cannot be re-written in flight.
+	Height uint64
+	// Token is the mining account credited for the share.
+	Token string
+	// Diff is the difficulty-weighted credit the share earned.
+	Diff uint64
+	// Nonce is the winning nonce (already spliced into Blob; carried
+	// for observability and archive parity with the pool's share events).
+	Nonce uint32
+	// Blob is the complete hashing blob, nonce spliced.
+	Blob []byte
+	// Result is the claimed CryptoNight hash of Blob.
+	Result [32]byte
+
+	id    [32]byte // cached canonical ID
+	hasID bool
+}
+
+// ID returns the entry's canonical identity: SHA-256 over the fixed
+// fields and length-prefixed variable fields. Cached after first use.
+func (e *Entry) ID() [32]byte {
+	if e.hasID {
+		return e.id
+	}
+	var hdr [8 + 8 + 4 + 2 + 2]byte
+	binary.LittleEndian.PutUint64(hdr[0:], e.Height)
+	binary.LittleEndian.PutUint64(hdr[8:], e.Diff)
+	binary.LittleEndian.PutUint32(hdr[16:], e.Nonce)
+	binary.LittleEndian.PutUint16(hdr[20:], uint16(len(e.Token)))
+	binary.LittleEndian.PutUint16(hdr[22:], uint16(len(e.Blob)))
+	h := sha256.New()
+	h.Write(hdr[:])
+	h.Write([]byte(e.Token))
+	h.Write(e.Blob)
+	h.Write(e.Result[:])
+	h.Sum(e.id[:0])
+	e.hasID = true
+	return e.id
+}
+
+// less orders entries canonically: by claimed height, then by ID bytes
+// (lexicographic). This is the deterministic tie-break the convergence
+// proof rests on — never map iteration, never arrival order.
+func less(aH uint64, aID [32]byte, bH uint64, bID [32]byte) bool {
+	if aH != bH {
+		return aH < bH
+	}
+	for i := 0; i < 32; i++ {
+		if aID[i] != bID[i] {
+			return aID[i] < bID[i]
+		}
+	}
+	return false
+}
+
+// Verifier checks an entry's proof of work. The pool injects one backed
+// by its pooled CryptoNight hashers; a nil verifier makes Insert of
+// unverified (remote) entries an error, never a silent admission.
+type Verifier func(*Entry) error
+
+// Config parameterises a Chain.
+type Config struct {
+	// Window is the PPLNS window size in entries (DefaultWindow if 0).
+	Window int
+	// Verify validates the PoW of entries inserted with verified=false
+	// (gossiped-in shares). Locally-accepted shares were already
+	// verified by the pool and skip it.
+	Verify Verifier
+	// MaxHeightSkew bounds claimed heights (DefaultMaxHeightSkew if 0).
+	MaxHeightSkew uint64
+	// FeePercent is the pool cut applied by PayoutVector (30 if 0).
+	FeePercent int
+	// Metrics receives pool.sharechain_* instruments (nil: private).
+	Metrics *metrics.Registry
+}
+
+// TokenWeight is one account's difficulty-weighted credit inside the
+// PPLNS window, in sorted-token order.
+type TokenWeight struct {
+	Token  string
+	Weight uint64
+}
+
+// Payout is one account's cut of a reward, in sorted-token order.
+type Payout struct {
+	Token  string
+	Amount uint64
+}
+
+// Chain is the share-chain: a canonically-ordered entry set with rolling
+// tip hashes, all-time credit and incrementally-maintained PPLNS window
+// aggregates. All methods are safe for concurrent use.
+type Chain struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	entries []*Entry
+	ids     [][32]byte        // entry IDs by position (avoids pointer chase in sort)
+	tips    [][32]byte        // rolling hash: tips[i] = SHA-256(tips[i-1] || ids[i])
+	known   map[[32]byte]bool // dedupe set
+	credit  map[string]uint64 // all-time difficulty-weighted credit per token
+	window  map[string]uint64 // credit inside the PPLNS window
+	winTot  uint64            // total window weight
+
+	height   *metrics.Gauge
+	reorgs   *metrics.Counter
+	rebuilds *metrics.Counter
+}
+
+// New builds an empty chain.
+func New(cfg Config) *Chain {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxHeightSkew == 0 {
+		cfg.MaxHeightSkew = DefaultMaxHeightSkew
+	}
+	if cfg.FeePercent == 0 {
+		cfg.FeePercent = 30
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &Chain{
+		cfg:      cfg,
+		known:    map[[32]byte]bool{},
+		credit:   map[string]uint64{},
+		window:   map[string]uint64{},
+		height:   cfg.Metrics.Gauge("pool.sharechain_height"),
+		reorgs:   cfg.Metrics.Counter("pool.sharechain_reorgs"),
+		rebuilds: cfg.Metrics.Counter("pool.window_credit_rebuilds"),
+	}
+}
+
+// Window returns the configured PPLNS window size.
+func (c *Chain) Window() int { return c.cfg.Window }
+
+// Len returns the number of entries in the chain.
+func (c *Chain) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Tip returns the rolling tip hash and the entry count it covers. Two
+// chains with equal tips hold identical entry sequences — the hash folds
+// every ID in canonical order, so it is the convergence check.
+func (c *Chain) Tip() ([32]byte, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.tips) == 0 {
+		return [32]byte{}, 0
+	}
+	return c.tips[len(c.tips)-1], len(c.tips)
+}
+
+// TipHeight returns the highest claimed height in the chain (0 when
+// empty). Because entries are height-ordered, it is the last entry's.
+func (c *Chain) TipHeight() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.entries) == 0 {
+		return 0
+	}
+	return c.entries[len(c.entries)-1].Height
+}
+
+// NextHeight is the claimed height a locally-minted entry should carry:
+// the current tip height plus one.
+func (c *Chain) NextHeight() uint64 { return c.TipHeight() + 1 }
+
+// Has reports whether the entry identified by id is already in the chain.
+func (c *Chain) Has(id [32]byte) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.known[id]
+}
+
+// validate applies the structural checks shared by both insert paths.
+func (c *Chain) validate(e *Entry) error {
+	if e.Diff == 0 || e.Height == 0 || len(e.Token) == 0 ||
+		len(e.Token) > MaxTokenLen || len(e.Blob) == 0 || len(e.Blob) > DefaultMaxBlobBytes {
+		return ErrBadEntry
+	}
+	return nil
+}
+
+// Insert adds an entry to the chain. verified marks entries whose PoW the
+// caller already checked (the local pool's accepted shares); unverified
+// entries (gossip, sync) go through Config.Verify before admission — the
+// CryptoNight walk runs outside the chain lock, so verification of
+// concurrent gossip parallelises like the pool's submit path.
+//
+// Returns whether the insertion displaced existing order (a reorg): the
+// entry's canonical position preceded existing entries, so the rolling
+// hashes after it were rebuilt and the window credit recomputed.
+func (c *Chain) Insert(e *Entry, verified bool) (reorged bool, err error) {
+	if err := c.validate(e); err != nil {
+		return false, err
+	}
+	id := e.ID()
+	c.mu.RLock()
+	dup := c.known[id]
+	tipH := uint64(0)
+	if len(c.entries) > 0 {
+		tipH = c.entries[len(c.entries)-1].Height
+	}
+	c.mu.RUnlock()
+	if dup {
+		return false, ErrDuplicate
+	}
+	if e.Height > tipH+c.cfg.MaxHeightSkew {
+		return false, ErrHeightSkew
+	}
+	if !verified {
+		if c.cfg.Verify == nil {
+			return false, ErrUnverified
+		}
+		if err := c.cfg.Verify(e); err != nil {
+			return false, err
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.known[id] {
+		return false, ErrDuplicate
+	}
+	// Re-check the skew bound against the tip as it stands now: the
+	// pre-lock check ran against a stale snapshot.
+	if n := len(c.entries); n > 0 && e.Height > c.entries[n-1].Height+c.cfg.MaxHeightSkew {
+		return false, ErrHeightSkew
+	}
+	pos := sort.Search(len(c.entries), func(i int) bool {
+		return less(e.Height, id, c.entries[i].Height, c.ids[i])
+	})
+	c.entries = append(c.entries, nil)
+	c.ids = append(c.ids, [32]byte{})
+	c.tips = append(c.tips, [32]byte{})
+	copy(c.entries[pos+1:], c.entries[pos:])
+	copy(c.ids[pos+1:], c.ids[pos:])
+	c.entries[pos] = e
+	c.ids[pos] = id
+	c.known[id] = true
+	c.credit[e.Token] += e.Diff
+
+	reorged = pos != len(c.entries)-1
+	c.rebuildTipsLocked(pos)
+	if reorged {
+		c.reorgs.Inc()
+		c.rebuildWindowLocked()
+	} else {
+		c.advanceWindowLocked(e)
+	}
+	c.height.Set(int64(c.entries[len(c.entries)-1].Height))
+	return reorged, nil
+}
+
+// rebuildTipsLocked recomputes rolling hashes from position pos on. An
+// append recomputes exactly one; a reorg recomputes the displaced suffix.
+func (c *Chain) rebuildTipsLocked(pos int) {
+	var prev [32]byte
+	if pos > 0 {
+		prev = c.tips[pos-1]
+	}
+	h := sha256.New()
+	var buf [32]byte
+	for i := pos; i < len(c.tips); i++ {
+		h.Reset()
+		h.Write(prev[:])
+		h.Write(c.ids[i][:])
+		h.Sum(buf[:0])
+		c.tips[i] = buf
+		prev = buf
+	}
+}
+
+// advanceWindowLocked slides the PPLNS window forward after an append:
+// the new tail entry enters; the entry that fell off the head leaves.
+func (c *Chain) advanceWindowLocked(e *Entry) {
+	c.window[e.Token] += e.Diff
+	c.winTot += e.Diff
+	if n := len(c.entries); n > c.cfg.Window {
+		old := c.entries[n-c.cfg.Window-1]
+		c.window[old.Token] -= old.Diff
+		c.winTot -= old.Diff
+		if c.window[old.Token] == 0 {
+			delete(c.window, old.Token)
+		}
+	}
+}
+
+// rebuildWindowLocked recomputes the window aggregates from scratch —
+// the reorg path, counted so operators can see how often late gossip
+// displaces order.
+func (c *Chain) rebuildWindowLocked() {
+	c.rebuilds.Inc()
+	clear(c.window)
+	c.winTot = 0
+	start := 0
+	if len(c.entries) > c.cfg.Window {
+		start = len(c.entries) - c.cfg.Window
+	}
+	for _, e := range c.entries[start:] {
+		c.window[e.Token] += e.Diff
+		c.winTot += e.Diff
+	}
+}
+
+// CreditSnapshot returns a copy of the all-time difficulty-weighted
+// credit per token. Two converged nodes return equal maps.
+func (c *Chain) CreditSnapshot() map[string]uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]uint64, len(c.credit))
+	for t, v := range c.credit {
+		out[t] = v
+	}
+	return out
+}
+
+// WindowWeights returns the PPLNS window's per-token weights in sorted
+// token order, plus the total. The sort makes every consumer of the
+// window — payout vectors, archives, federation settles — deterministic.
+func (c *Chain) WindowWeights() ([]TokenWeight, uint64) {
+	c.mu.RLock()
+	tokens := make([]string, 0, len(c.window))
+	for t := range c.window {
+		tokens = append(tokens, t)
+	}
+	total := c.winTot
+	weights := make([]TokenWeight, 0, len(tokens))
+	sort.Strings(tokens)
+	for _, t := range tokens {
+		weights = append(weights, TokenWeight{Token: t, Weight: c.window[t]})
+	}
+	c.mu.RUnlock()
+	return weights, total
+}
+
+// PayoutVector splits a block reward across the current PPLNS window:
+// each account receives floor(reward × (100−fee)% × weight ⁄ total), in
+// sorted-token order; rounding dust stays with the pool. It is a pure
+// function of the window, so converged nodes produce identical vectors.
+func (c *Chain) PayoutVector(reward uint64) []Payout {
+	weights, total := c.WindowWeights()
+	if total == 0 {
+		return nil
+	}
+	userPart := reward * uint64(100-c.cfg.FeePercent) / 100
+	out := make([]Payout, 0, len(weights))
+	for _, w := range weights {
+		out = append(out, Payout{Token: w.Token, Amount: userPart * w.Weight / total})
+	}
+	return out
+}
+
+// EntriesFrom returns up to max entries whose claimed height is ≥ from,
+// in canonical order — the ranged catch-up sync primitive. The returned
+// entries are the chain's own (immutable by convention).
+func (c *Chain) EntriesFrom(from uint64, max int) []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pos := sort.Search(len(c.entries), func(i int) bool {
+		return c.entries[i].Height >= from
+	})
+	n := len(c.entries) - pos
+	if n > max {
+		n = max
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*Entry, n)
+	copy(out, c.entries[pos:pos+n])
+	return out
+}

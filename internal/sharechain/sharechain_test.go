@@ -1,0 +1,213 @@
+package sharechain
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// mkEntry builds a structurally valid test entry. The blob content is
+// arbitrary — these tests insert with verified=true, exercising ordering
+// and accounting, not PoW.
+func mkEntry(height uint64, token string, diff uint64, salt byte) *Entry {
+	blob := make([]byte, 76)
+	blob[0] = salt
+	blob[1] = byte(height)
+	blob[2] = byte(diff)
+	copy(blob[3:], token)
+	return &Entry{Height: height, Token: token, Diff: diff, Nonce: uint32(salt), Blob: blob}
+}
+
+// TestInsertionOrderIndependence is the convergence property in miniature:
+// any permutation of the same entry set yields bit-identical tip hashes,
+// credit maps, window weights and payout vectors.
+func TestInsertionOrderIndependence(t *testing.T) {
+	var base []*Entry
+	for i := 0; i < 200; i++ {
+		// Heights interleave and collide on purpose: concurrent mints at
+		// different nodes claim equal heights and must tie-break by ID.
+		h := uint64(1 + i/3)
+		base = append(base, mkEntry(h, fmt.Sprintf("tok%d", i%7), uint64(1+i%5), byte(i)))
+	}
+	build := func(perm []int) *Chain {
+		c := New(Config{Window: 32})
+		for _, i := range perm {
+			e := *base[i] // fresh copy: cached IDs must not leak between chains
+			e.hasID = false
+			if _, err := c.Insert(&e, true); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+		return c
+	}
+	ref := build(rand.New(rand.NewSource(1)).Perm(len(base)))
+	refTip, refN := ref.Tip()
+	for seed := int64(2); seed < 6; seed++ {
+		c := build(rand.New(rand.NewSource(seed)).Perm(len(base)))
+		tip, n := c.Tip()
+		if tip != refTip || n != refN {
+			t.Fatalf("seed %d: tip diverged: %x/%d vs %x/%d", seed, tip, n, refTip, refN)
+		}
+		if !reflect.DeepEqual(c.CreditSnapshot(), ref.CreditSnapshot()) {
+			t.Fatalf("seed %d: credit diverged", seed)
+		}
+		w1, t1 := c.WindowWeights()
+		w2, t2 := ref.WindowWeights()
+		if t1 != t2 || !reflect.DeepEqual(w1, w2) {
+			t.Fatalf("seed %d: window diverged", seed)
+		}
+		if !reflect.DeepEqual(c.PayoutVector(1_000_000), ref.PayoutVector(1_000_000)) {
+			t.Fatalf("seed %d: payout vector diverged", seed)
+		}
+	}
+}
+
+func TestAppendVsReorgAccounting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(Config{Window: 8, Metrics: reg})
+	for h := uint64(1); h <= 5; h++ {
+		reorged, err := c.Insert(mkEntry(h, "a", 2, byte(h)), true)
+		if err != nil || reorged {
+			t.Fatalf("append h=%d: reorged=%v err=%v", h, reorged, err)
+		}
+	}
+	if got := reg.Counter("pool.sharechain_reorgs").Load(); got != 0 {
+		t.Fatalf("reorgs after pure appends = %d", got)
+	}
+	// A late entry at height 2 lands mid-chain: reorg.
+	reorged, err := c.Insert(mkEntry(2, "b", 3, 0xEE), true)
+	if err != nil || !reorged {
+		t.Fatalf("late insert: reorged=%v err=%v", reorged, err)
+	}
+	if got := reg.Counter("pool.sharechain_reorgs").Load(); got != 1 {
+		t.Fatalf("reorgs = %d, want 1", got)
+	}
+	if got := reg.Counter("pool.window_credit_rebuilds").Load(); got != 1 {
+		t.Fatalf("window rebuilds = %d, want 1", got)
+	}
+	// The displaced chain still holds every entry: zero lost credit.
+	credit := c.CreditSnapshot()
+	if credit["a"] != 10 || credit["b"] != 3 {
+		t.Fatalf("credit after reorg: %v", credit)
+	}
+	if c.Len() != 6 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestWindowSlidesAndPayout(t *testing.T) {
+	c := New(Config{Window: 3, FeePercent: 30})
+	c.Insert(mkEntry(1, "old", 100, 1), true)
+	c.Insert(mkEntry(2, "a", 10, 2), true)
+	c.Insert(mkEntry(3, "b", 20, 3), true)
+	c.Insert(mkEntry(4, "a", 30, 4), true)
+	// Window = last 3 entries: a:10, b:20, a:30 → a:40, b:20, total 60.
+	weights, total := c.WindowWeights()
+	if total != 60 {
+		t.Fatalf("window total = %d", total)
+	}
+	want := []TokenWeight{{"a", 40}, {"b", 20}}
+	if !reflect.DeepEqual(weights, want) {
+		t.Fatalf("weights = %v", weights)
+	}
+	// Reward 1000: user part 700, a: 700*40/60=466, b: 700*20/60=233.
+	pay := c.PayoutVector(1000)
+	wantPay := []Payout{{"a", 466}, {"b", 233}}
+	if !reflect.DeepEqual(pay, wantPay) {
+		t.Fatalf("payout = %v", pay)
+	}
+	// All-time credit still includes the slid-out entry.
+	if c.CreditSnapshot()["old"] != 100 {
+		t.Fatalf("all-time credit lost the window-expired entry")
+	}
+}
+
+func TestDuplicateAndValidation(t *testing.T) {
+	c := New(Config{Window: 4})
+	e := mkEntry(1, "a", 5, 9)
+	if _, err := c.Insert(e, true); err != nil {
+		t.Fatal(err)
+	}
+	dup := *e
+	dup.hasID = false
+	if _, err := c.Insert(&dup, true); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup insert: %v", err)
+	}
+	bad := []*Entry{
+		{Height: 1, Token: "a", Diff: 0, Blob: []byte{1}},          // zero diff
+		{Height: 0, Token: "a", Diff: 1, Blob: []byte{1}},          // zero height
+		{Height: 1, Token: "", Diff: 1, Blob: []byte{1}},           // empty token
+		{Height: 1, Token: "a", Diff: 1, Blob: nil},                // empty blob
+		{Height: 1, Token: "a", Diff: 1, Blob: make([]byte, 4096)}, // oversize blob
+	}
+	for i, b := range bad {
+		if _, err := c.Insert(b, true); !errors.Is(err, ErrBadEntry) {
+			t.Fatalf("bad[%d]: %v", i, err)
+		}
+	}
+	if _, err := c.Insert(mkEntry(1+DefaultMaxHeightSkew+1, "a", 1, 7), true); !errors.Is(err, ErrHeightSkew) {
+		t.Fatalf("skew: expected ErrHeightSkew")
+	}
+}
+
+func TestVerifierGatesRemoteEntries(t *testing.T) {
+	// No verifier: remote entries are refused outright.
+	c := New(Config{Window: 4})
+	if _, err := c.Insert(mkEntry(1, "a", 1, 1), false); !errors.Is(err, ErrUnverified) {
+		t.Fatalf("nil verifier: %v", err)
+	}
+	// A verifier sees exactly the entry and its verdict is final.
+	calls := 0
+	c2 := New(Config{Window: 4, Verify: func(e *Entry) error {
+		calls++
+		if e.Token == "evil" {
+			return ErrBadPoW
+		}
+		return nil
+	}})
+	if _, err := c2.Insert(mkEntry(1, "evil", 1, 2), false); !errors.Is(err, ErrBadPoW) {
+		t.Fatalf("verifier reject: %v", err)
+	}
+	if _, err := c2.Insert(mkEntry(1, "good", 1, 3), false); err != nil {
+		t.Fatalf("verifier accept: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("verifier calls = %d", calls)
+	}
+	// Local (verified) entries never touch the verifier.
+	if _, err := c2.Insert(mkEntry(2, "evil", 1, 4), true); err != nil || calls != 2 {
+		t.Fatalf("local insert hit the verifier: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestEntriesFromRanged(t *testing.T) {
+	c := New(Config{Window: 16})
+	for h := uint64(1); h <= 10; h++ {
+		c.Insert(mkEntry(h, "a", 1, byte(h)), true)
+	}
+	got := c.EntriesFrom(4, 3)
+	if len(got) != 3 || got[0].Height != 4 || got[2].Height != 6 {
+		t.Fatalf("EntriesFrom(4,3): %v", got)
+	}
+	if got := c.EntriesFrom(11, 10); got != nil {
+		t.Fatalf("past-end range returned entries")
+	}
+	if got := c.EntriesFrom(0, 1000); len(got) != 10 {
+		t.Fatalf("full range = %d entries", len(got))
+	}
+}
+
+func TestTipHeightAndNextHeight(t *testing.T) {
+	c := New(Config{Window: 4})
+	if c.TipHeight() != 0 || c.NextHeight() != 1 {
+		t.Fatalf("empty chain heights wrong")
+	}
+	c.Insert(mkEntry(7, "a", 1, 1), true)
+	if c.TipHeight() != 7 || c.NextHeight() != 8 {
+		t.Fatalf("heights after insert: tip=%d", c.TipHeight())
+	}
+}
